@@ -1,0 +1,60 @@
+// Reproduces Figure 13: the correlation between a transaction's gas usage and
+// the average speedup achieved on effectively predicted (accelerated)
+// transactions — the paper's evidence that more complex transactions benefit
+// more.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace frn;
+
+int main() {
+  std::printf("=== Figure 13: Gas used vs average speedup (dataset L1, accelerated txs) ===\n");
+  ScenarioRun run = RunScenario(ScenarioByName("L1"), {ExecStrategy::kForerunner});
+  std::vector<TxComparison> txs = Compare(run.report, 1);
+
+  // Half-decade log buckets from 10k gas up.
+  struct Bucket {
+    double base_time = 0;
+    double strat_time = 0;
+    size_t n = 0;
+  };
+  constexpr int kBuckets = 8;
+  Bucket buckets[kBuckets];
+  auto bucket_of = [&](uint64_t gas) {
+    double lg = std::log10(static_cast<double>(gas < 1 ? 1 : gas));
+    int b = static_cast<int>((lg - 4.0) * 2.0);  // 10^4 start, half decades
+    if (b < 0) {
+      b = 0;
+    }
+    if (b >= kBuckets) {
+      b = kBuckets - 1;
+    }
+    return b;
+  };
+  for (const TxComparison& c : txs) {
+    if (!c.heard || !c.accelerated) {
+      continue;
+    }
+    Bucket& b = buckets[bucket_of(c.gas_used)];
+    b.base_time += c.baseline_seconds;
+    b.strat_time += c.strategy_seconds;
+    ++b.n;
+  }
+  std::printf("%-22s %10s %8s\n", "gas used", "speedup", "tx count");
+  for (int b = 0; b < kBuckets; ++b) {
+    double lo = std::pow(10.0, 4.0 + b / 2.0);
+    double hi = std::pow(10.0, 4.0 + (b + 1) / 2.0);
+    double speedup = buckets[b].strat_time > 0 ? buckets[b].base_time / buckets[b].strat_time
+                                               : 0.0;
+    if (buckets[b].n == 0) {
+      continue;
+    }
+    std::printf("%9.0f - %9.0f %9.2fx %8zu  %s\n", lo, hi, speedup, buckets[b].n,
+                Bar(speedup / 40.0, 30).c_str());
+  }
+  std::printf("\nPaper reference: average speedup rises with gas used "
+              "(up to ~30x beyond 1M gas).\n");
+  return 0;
+}

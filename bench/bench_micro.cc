@@ -1,0 +1,190 @@
+// Microbenchmarks (google-benchmark): the raw critical-path latency of the
+// EVM interpreter vs the synthesized accelerated program, per contract
+// family, plus the off-critical-path synthesis cost. Complements the
+// system-level benches with per-component numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/contracts/contracts.h"
+#include "src/core/ap.h"
+#include "src/core/trace_builder.h"
+#include "src/evm/evm.h"
+
+namespace frn {
+namespace {
+
+struct MicroWorld {
+  MicroWorld() : store(FastStore()), trie(&store), state(&trie, Mpt::EmptyRoot()) {
+    block.number = 1000;
+    block.timestamp = 3'990'462;
+    block.coinbase = Address::FromId(0xC0FFEE);
+    sender = Address::FromId(1);
+    other = Address::FromId(2);
+    state.AddBalance(sender, U256::Exp(U256(10), U256(21)));
+    state.AddBalance(other, U256::Exp(U256(10), U256(21)));
+
+    feed = Address::FromId(50);
+    state.SetCode(feed, PriceFeed::Code());
+    state.SetStorage(feed, U256(0), U256(3'990'300));
+    state.SetStorage(feed, PriceFeed::PriceSlot(U256(3'990'300)), U256(2000));
+    state.SetStorage(feed, PriceFeed::CountSlot(U256(3'990'300)), U256(4));
+
+    token = Address::FromId(60);
+    state.SetCode(token, Token::Code());
+    state.SetStorage(token, Token::BalanceSlot(sender), U256(1'000'000));
+
+    registry = Address::FromId(90);
+    state.SetCode(registry, Registry::Code());
+    hasher = Address::FromId(95);
+    state.SetCode(hasher, Hasher::Code());
+    root = state.Commit();
+  }
+
+  static KvStore::Options FastStore() {
+    KvStore::Options o;
+    o.cold_read_latency = std::chrono::nanoseconds(0);
+    return o;
+  }
+
+  Transaction MakeTx(const Address& to, Bytes data) {
+    Transaction tx;
+    tx.sender = sender;
+    tx.to = to;
+    tx.data = std::move(data);
+    tx.gas_limit = 5'000'000;
+    tx.gas_price = U256(1'000'000'000);
+    return tx;
+  }
+
+  Ap BuildAp(const Transaction& tx) {
+    StateDb scratch(&trie, root);
+    TraceBuilder builder(tx, &scratch);
+    Evm evm(&scratch, block);
+    ExecResult r = evm.ExecuteTransaction(tx, &builder);
+    LinearIr ir;
+    bool ok = builder.Finalize(r, &ir);
+    if (!ok) {
+      return Ap();
+    }
+    return Ap::Build(std::move(ir));
+  }
+
+  KvStore store;
+  Mpt trie;
+  StateDb state;
+  BlockContext block;
+  Hash root;
+  Address sender, other, feed, token, registry, hasher;
+};
+
+Transaction FamilyTx(MicroWorld& world, int family) {
+  switch (family) {
+    case 0:  // oracle submit (the paper's running example)
+      return world.MakeTx(world.feed, PriceFeed::SubmitCall(U256(3'990'300), U256(1980)));
+    case 1:  // token transfer
+      return world.MakeTx(world.token,
+                          EncodeCall(Token::kTransfer, {world.other.ToU256(), U256(5)}));
+    case 2:  // registry write
+      return world.MakeTx(world.registry, EncodeCall(Registry::kSet, {U256(1), U256(2)}));
+    default:  // compute-heavy hashing, 200 iterations
+      return world.MakeTx(world.hasher, EncodeCall(Hasher::kRun, {U256(200), U256(7)}));
+  }
+}
+
+const char* FamilyName(int family) {
+  switch (family) {
+    case 0: return "PriceFeed.submit";
+    case 1: return "Token.transfer";
+    case 2: return "Registry.set";
+    default: return "Hasher.run(200)";
+  }
+}
+
+void BM_EvmExecute(benchmark::State& state) {
+  MicroWorld world;
+  Transaction tx = FamilyTx(world, static_cast<int>(state.range(0)));
+  state.SetLabel(FamilyName(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    StateDb fresh(&world.trie, world.root);
+    Evm evm(&fresh, world.block);
+    ExecResult r = evm.ExecuteTransaction(tx);
+    benchmark::DoNotOptimize(r.gas_used);
+  }
+}
+BENCHMARK(BM_EvmExecute)->DenseRange(0, 3);
+
+void BM_ApExecute(benchmark::State& state) {
+  MicroWorld world;
+  Transaction tx = FamilyTx(world, static_cast<int>(state.range(0)));
+  Ap ap = world.BuildAp(tx);
+  state.SetLabel(FamilyName(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    StateDb fresh(&world.trie, world.root);
+    ApRunResult run = ap.Execute(&fresh, world.block);
+    if (!run.satisfied) {
+      state.SkipWithError("constraint violation in microbenchmark");
+      break;
+    }
+    benchmark::DoNotOptimize(run.result.gas_used);
+  }
+}
+BENCHMARK(BM_ApExecute)->DenseRange(0, 3);
+
+void BM_ApConstraintViolationFallbackCost(benchmark::State& state) {
+  // Cost of discovering a violation (rollback-free: just the constraint walk).
+  MicroWorld world;
+  Transaction tx = FamilyTx(world, 0);
+  Ap ap = world.BuildAp(tx);
+  BlockContext wrong = world.block;
+  wrong.timestamp += 900;  // different oracle round: guard miss
+  for (auto _ : state) {
+    StateDb fresh(&world.trie, world.root);
+    ApRunResult run = ap.Execute(&fresh, wrong);
+    if (run.satisfied) {
+      state.SkipWithError("expected violation");
+      break;
+    }
+    benchmark::DoNotOptimize(run.satisfied);
+  }
+}
+BENCHMARK(BM_ApConstraintViolationFallbackCost);
+
+void BM_SynthesizeAp(benchmark::State& state) {
+  MicroWorld world;
+  Transaction tx = FamilyTx(world, static_cast<int>(state.range(0)));
+  state.SetLabel(FamilyName(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    Ap ap = world.BuildAp(tx);
+    benchmark::DoNotOptimize(ap.stats().nodes);
+  }
+}
+BENCHMARK(BM_SynthesizeAp)->DenseRange(0, 3);
+
+void BM_ApMerge(benchmark::State& state) {
+  MicroWorld world;
+  Transaction tx = FamilyTx(world, 0);
+  Ap a = world.BuildAp(tx);
+  BlockContext shifted = world.block;
+  shifted.timestamp += 16;
+  Ap b;
+  {
+    StateDb scratch(&world.trie, world.root);
+    TraceBuilder builder(tx, &scratch);
+    Evm evm(&scratch, shifted);
+    ExecResult r = evm.ExecuteTransaction(tx, &builder);
+    LinearIr ir;
+    if (builder.Finalize(r, &ir)) {
+      b = Ap::Build(std::move(ir));
+    }
+  }
+  for (auto _ : state) {
+    Ap merged = a;
+    bool ok = merged.MergeWith(b);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ApMerge);
+
+}  // namespace
+}  // namespace frn
+
+BENCHMARK_MAIN();

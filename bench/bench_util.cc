@@ -1,0 +1,137 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace frn {
+
+ScenarioRun RunScenario(ScenarioConfig cfg, const std::vector<ExecStrategy>& extra,
+                        double duration_override) {
+  std::vector<std::pair<ExecStrategy, NodeTweak>> tweaked;
+  for (ExecStrategy s : extra) {
+    tweaked.emplace_back(s, NodeTweak{});
+  }
+  return RunScenarioWithTweaks(std::move(cfg), tweaked, duration_override);
+}
+
+ScenarioRun RunScenarioWithTweaks(ScenarioConfig cfg,
+                                  const std::vector<std::pair<ExecStrategy, NodeTweak>>& extra,
+                                  double duration_override) {
+  if (duration_override > 0) {
+    cfg.duration = duration_override;
+  }
+  Workload workload(cfg);
+  auto traffic = workload.GenerateTraffic();
+  DiceSimulator sim(cfg.dice, traffic);
+  auto genesis = [&](StateDb* state) { workload.InitGenesis(state); };
+
+  auto make_options = [&](ExecStrategy strategy) {
+    NodeOptions options;
+    options.strategy = strategy;
+    options.store.cold_read_latency = cfg.cold_read_latency;
+    options.predictor.miners = MinerCandidates(sim.miners());
+    options.predictor.mean_block_interval = cfg.dice.mean_block_interval;
+    return options;
+  };
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<Node*> node_ptrs;
+  std::vector<ExecStrategy> strategies;
+  nodes.push_back(std::make_unique<Node>(make_options(ExecStrategy::kBaseline), genesis));
+  strategies.push_back(ExecStrategy::kBaseline);
+  for (const auto& [s, tweak] : extra) {
+    NodeOptions options = make_options(s);
+    if (tweak) {
+      tweak(&options);
+    }
+    nodes.push_back(std::make_unique<Node>(options, genesis));
+    strategies.push_back(s);
+  }
+  for (auto& n : nodes) {
+    node_ptrs.push_back(n.get());
+  }
+
+  ScenarioRun run;
+  run.cfg = cfg;
+  run.report = sim.Run(node_ptrs, cfg.name);
+  run.strategies = strategies;
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    run.report.nodes[i].strategy = strategies[i];
+  }
+  RequireConsistentRoots(run.report);
+  return run;
+}
+
+std::vector<TxComparison> Compare(const SimReport& report, size_t strategy_node) {
+  const auto& base = report.nodes[0].records;
+  const auto& strat = report.nodes[strategy_node].records;
+  std::vector<TxComparison> out;
+  out.reserve(base.size());
+  for (size_t i = 0; i < base.size() && i < strat.size(); ++i) {
+    if (strat[i].on_fork) {
+      continue;  // temporary-fork executions are not part of the main chain
+    }
+    TxComparison c;
+    c.tx_id = strat[i].tx_id;
+    c.baseline_seconds = base[i].seconds;
+    c.strategy_seconds = strat[i].seconds;
+    c.speedup = (strat[i].seconds > 0) ? base[i].seconds / strat[i].seconds : 1.0;
+    c.heard = strat[i].heard;
+    c.accelerated = strat[i].accelerated;
+    c.perfect = strat[i].perfect;
+    c.gas_used = strat[i].gas_used;
+    out.push_back(c);
+  }
+  return out;
+}
+
+SpeedupSummary Summarize(const std::vector<TxComparison>& txs) {
+  SpeedupSummary s;
+  Samples effective;
+  double heard_base_time = 0;
+  double heard_strategy_time = 0;
+  double total_base_time = 0;
+  double total_strategy_time = 0;
+  double satisfied_weight = 0;
+  size_t satisfied = 0;
+  for (const TxComparison& c : txs) {
+    total_base_time += c.baseline_seconds;
+    total_strategy_time += c.strategy_seconds;
+    if (c.heard) {
+      effective.Add(c.speedup);
+      heard_base_time += c.baseline_seconds;
+      heard_strategy_time += c.strategy_seconds;
+      if (c.accelerated) {
+        ++satisfied;
+        satisfied_weight += c.baseline_seconds;
+      }
+    }
+  }
+  double heard_weight = heard_base_time;
+  double total_weight = total_base_time;
+  s.total = txs.size();
+  s.heard = effective.count();
+  s.mean_tx_speedup = effective.Mean();
+  s.effective_speedup = heard_strategy_time > 0 ? heard_base_time / heard_strategy_time : 1.0;
+  s.end_to_end_speedup =
+      total_strategy_time > 0 ? total_base_time / total_strategy_time : 1.0;
+  s.heard_pct = txs.empty() ? 0 : 100.0 * static_cast<double>(s.heard) / txs.size();
+  s.heard_weighted_pct = total_weight == 0 ? 0 : 100.0 * heard_weight / total_weight;
+  s.satisfied_pct =
+      s.heard == 0 ? 0 : 100.0 * static_cast<double>(satisfied) / static_cast<double>(s.heard);
+  s.satisfied_weighted_pct = heard_weight == 0 ? 0 : 100.0 * satisfied_weight / heard_weight;
+  return s;
+}
+
+void RequireConsistentRoots(const SimReport& report) {
+  if (!report.roots_consistent) {
+    std::fprintf(stderr,
+                 "FATAL: state roots diverged between nodes in scenario %s — "
+                 "speculative execution broke consensus\n",
+                 report.scenario.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace frn

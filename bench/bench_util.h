@@ -1,0 +1,70 @@
+// Shared harness for the evaluation benches: runs a dataset scenario through
+// the DiCE emulator with a baseline node plus the requested strategy nodes,
+// and provides the aggregate metrics the paper's tables/figures report.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+#include "src/workload/workload.h"
+
+namespace frn {
+
+struct ScenarioRun {
+  ScenarioConfig cfg;
+  SimReport report;  // nodes[0] is always the baseline
+  std::vector<ExecStrategy> strategies;  // aligned with report.nodes
+};
+
+// Runs `cfg` with a baseline node plus one node per entry of `extra`.
+// `duration_override` > 0 shortens/extends the traffic window.
+ScenarioRun RunScenario(ScenarioConfig cfg, const std::vector<ExecStrategy>& extra,
+                        double duration_override = 0);
+
+// Like RunScenario, but each extra node gets caller-tweaked options (for
+// ablations). The tweak receives defaults already wired to the scenario.
+using NodeTweak = std::function<void(NodeOptions*)>;
+ScenarioRun RunScenarioWithTweaks(ScenarioConfig cfg,
+                                  const std::vector<std::pair<ExecStrategy, NodeTweak>>& extra,
+                                  double duration_override = 0);
+
+// Per-transaction comparison of a strategy node against the baseline node.
+struct TxComparison {
+  uint64_t tx_id;
+  double baseline_seconds;
+  double strategy_seconds;
+  double speedup;  // baseline / strategy
+  bool heard;
+  bool accelerated;
+  bool perfect;
+  uint64_t gas_used;
+};
+
+std::vector<TxComparison> Compare(const SimReport& report, size_t strategy_node);
+
+// Aggregates per Table 2's rows. Speedups are ratios of total critical-path
+// time (equivalently, per-tx speedups weighted by baseline execution time),
+// which is what makes "effective speedup" translate into throughput headroom.
+struct SpeedupSummary {
+  double effective_speedup = 0;   // sum(baseline)/sum(strategy) over heard txs
+  double end_to_end_speedup = 0;  // same over all txs
+  double mean_tx_speedup = 0;     // unweighted mean of per-tx ratios (heard)
+  double satisfied_pct = 0;       // accelerated / heard
+  double satisfied_weighted_pct = 0;  // weighted by baseline execution time
+  double heard_pct = 0;
+  double heard_weighted_pct = 0;
+  size_t heard = 0;
+  size_t total = 0;
+};
+
+SpeedupSummary Summarize(const std::vector<TxComparison>& txs);
+
+// Asserts the §5.2 correctness condition; aborts the bench loudly otherwise.
+void RequireConsistentRoots(const SimReport& report);
+
+}  // namespace frn
+
+#endif  // BENCH_BENCH_UTIL_H_

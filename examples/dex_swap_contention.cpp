@@ -1,0 +1,120 @@
+// DEX contention scenario: several traders race to swap on the same AMM pair
+// within one block. The target swap's context depends on how many rival swaps
+// the miner orders ahead of it — the paper's "different ordering of
+// inter-dependent transactions" (§4.2 cause 1). The multi-future speculator
+// pre-executes the position sweep; the merged AP then absorbs whichever
+// ordering the miner actually chose, including CALLs into both token
+// contracts.
+//
+// Build & run:  ./build/examples/dex_swap_contention
+#include <cstdio>
+
+#include "src/contracts/contracts.h"
+#include "src/crypto/keccak.h"
+#include "src/forerunner/speculator.h"
+#include "src/evm/evm.h"
+
+using namespace frn;
+
+int main() {
+  KvStore store;
+  Mpt trie(&store);
+  StateDb genesis(&trie, Mpt::EmptyRoot());
+
+  Address token0 = Address::FromId(70);
+  Address token1 = Address::FromId(71);
+  Address pair = Address::FromId(72);
+  genesis.SetCode(token0, Token::Code());
+  genesis.SetCode(token1, Token::Code());
+  AmmPair::Deploy(&genesis, pair, token0, token1);
+  genesis.SetStorage(pair, U256(2), U256(1'000'000));
+  genesis.SetStorage(pair, U256(3), U256(1'000'000));
+  genesis.SetStorage(token0, Token::BalanceSlot(pair), U256(1'000'000));
+  genesis.SetStorage(token1, Token::BalanceSlot(pair), U256(1'000'000));
+
+  std::vector<Address> traders;
+  std::vector<Transaction> swaps;
+  for (uint64_t i = 0; i < 4; ++i) {
+    Address trader = Address::FromId(100 + i);
+    traders.push_back(trader);
+    genesis.AddBalance(trader, U256::Exp(U256(10), U256(21)));
+    genesis.SetStorage(token0, Token::BalanceSlot(trader), U256(10'000'000));
+    genesis.SetStorage(token1, Token::BalanceSlot(trader), U256(10'000'000));
+    // Pre-approve the pair (allowance[owner][spender]).
+    U256 inner0 = Keccak256TwoWords(trader.ToU256(), U256(1)).ToU256();
+    genesis.SetStorage(token0, Keccak256TwoWords(pair.ToU256(), inner0).ToU256(), ~U256());
+    genesis.SetStorage(token1, Keccak256TwoWords(pair.ToU256(), inner0).ToU256(), ~U256());
+
+    Transaction swap;
+    swap.id = i + 1;
+    swap.sender = trader;
+    swap.to = pair;
+    swap.data = EncodeCall(AmmPair::kSwap, {U256(5'000 + 1'000 * i), U256(1)});
+    swap.gas_limit = 700'000;
+    swap.gas_price = U256(50'000'000'000ULL);
+    swaps.push_back(swap);
+  }
+  Hash root = genesis.Commit();
+
+  BlockContext predicted;
+  predicted.number = 500;
+  predicted.timestamp = 1'700'000'013;
+
+  // Our transaction is the LAST trader's swap; rivals may precede it.
+  const Transaction& ours = swaps[3];
+  std::vector<Transaction> rivals(swaps.begin(), swaps.begin() + 3);
+
+  std::printf("=== Speculating the position sweep (0..3 rival swaps ahead) ===\n");
+  Speculator speculator(&trie);
+  TxSpeculation spec;
+  for (size_t ahead = 0; ahead <= rivals.size(); ++ahead) {
+    FutureContext fc;
+    fc.header = predicted;
+    fc.predecessors.assign(rivals.begin(), rivals.begin() + static_cast<ptrdiff_t>(ahead));
+    bool ok = speculator.SpeculateFuture(root, ours, fc, &spec);
+    std::printf("  position %zu: %s\n", ahead, ok ? "synthesized" : "bailed");
+  }
+  std::printf("merged AP: %zu paths, %zu memo entries (speculation cost %.2f ms)\n\n",
+              spec.ap.stats().paths, spec.ap.stats().memo_entries,
+              1e3 * spec.synthesis_seconds);
+
+  // The miner picked an ordering we can now reveal: two rivals first.
+  std::printf("=== Actual block: rivals 1 and 2 execute first, then ours ===\n");
+  StateDb accel_state(&trie, root);
+  StateDb ref_state(&trie, root);
+  BlockContext actual = predicted;
+  actual.timestamp += 3;  // and the miner's clock differs
+  {
+    Evm evm_a(&accel_state, actual);
+    Evm evm_r(&ref_state, actual);
+    for (size_t i = 0; i < 2; ++i) {
+      evm_a.ExecuteTransaction(rivals[i]);
+      evm_r.ExecuteTransaction(rivals[i]);
+    }
+  }
+  ApRunResult run = spec.ap.Execute(&accel_state, actual);
+  StateDb* accel = &accel_state;
+  if (run.satisfied) {
+    accel->SetNonce(ours.sender, ours.nonce + 1);
+    accel->SubBalance(ours.sender, U256(run.result.gas_used) * ours.gas_price);
+    accel->AddBalance(actual.coinbase, U256(run.result.gas_used) * ours.gas_price);
+  } else {
+    Evm fallback(accel, actual);
+    fallback.ExecuteTransaction(ours);
+  }
+  Evm ref_evm(&ref_state, actual);
+  ExecResult expected = ref_evm.ExecuteTransaction(ours);
+
+  Hash accel_root = accel_state.Commit();
+  Hash ref_root = ref_state.Commit();
+  std::printf("constraints satisfied: %s (perfect=%s)\n", run.satisfied ? "yes" : "no",
+              run.perfect ? "yes" : "no");
+  std::printf("swap output (EVM):   %s tokens\n",
+              U256::FromBigEndian(expected.return_data.data(), 32).ToDec().c_str());
+  if (run.satisfied) {
+    std::printf("swap output (AP):    %s tokens\n",
+                U256::FromBigEndian(run.result.return_data.data(), 32).ToDec().c_str());
+  }
+  std::printf("post-state roots %s\n", accel_root == ref_root ? "MATCH" : "MISMATCH");
+  return accel_root == ref_root ? 0 : 1;
+}

@@ -1,0 +1,152 @@
+// The paper's §4.2 running example, executable: transaction Tx_e submits a
+// price to the PriceFeed oracle, and four future contexts FC1-FC4 (Figure 5)
+// are speculated. The per-future APs (Figures 8, 9, 16, 17) are merged into
+// one (Figure 10), and the merged AP is exercised in each future plus an
+// imperfect fifth context that satisfies FC4's constraint set without
+// matching any speculated context (the paper's footnote 13 example).
+//
+// Build & run:  ./build/examples/price_oracle_many_futures
+#include <cstdio>
+
+#include "src/contracts/contracts.h"
+#include "src/core/ap.h"
+#include "src/core/trace_builder.h"
+#include "src/evm/evm.h"
+
+using namespace frn;
+
+namespace {
+
+struct Oracle {
+  Oracle() : trie(&store), state(&trie, Mpt::EmptyRoot()) {
+    observer = Address::FromId(1);
+    feed = Address::FromId(50);
+    state.AddBalance(observer, U256::Exp(U256(10), U256(21)));
+    state.SetCode(feed, PriceFeed::Code());
+  }
+
+  // Produces a state root with the given oracle state.
+  Hash RootWith(uint64_t active_round, uint64_t price, uint64_t count) {
+    StateDb s(&trie, base_root);
+    s.SetStorage(feed, U256(0), U256(active_round));
+    if (count > 0) {
+      s.SetStorage(feed, PriceFeed::PriceSlot(U256(3'990'300)), U256(price));
+      s.SetStorage(feed, PriceFeed::CountSlot(U256(3'990'300)), U256(count));
+    }
+    return s.Commit();
+  }
+
+  Ap SpeculateAt(const Hash& root, uint64_t timestamp, const Transaction& tx,
+                 const char* label) {
+    BlockContext ctx;
+    ctx.number = 12'024'101;
+    ctx.timestamp = timestamp;
+    ctx.coinbase = Address::FromId(0xAA);
+    StateDb scratch(&trie, root);
+    TraceBuilder builder(tx, &scratch);
+    Evm evm(&scratch, ctx);
+    ExecResult r = evm.ExecuteTransaction(tx, &builder);
+    LinearIr ir;
+    if (!builder.Finalize(r, &ir)) {
+      std::printf("  %s: synthesis bailed (%s)\n", label, builder.failed_reason().c_str());
+      return Ap();
+    }
+    Ap ap = Ap::Build(std::move(ir));
+    std::printf("  %s: ts=%lu -> AP with %zu instrs, %zu guards, %zu shortcuts\n", label,
+                (unsigned long)timestamp, ap.stats().instr_nodes, ap.stats().guard_nodes,
+                ap.stats().shortcut_nodes);
+    return ap;
+  }
+
+  KvStore store;
+  Mpt trie;
+  StateDb state;
+  Hash base_root;
+  Address observer, feed;
+};
+
+}  // namespace
+
+int main() {
+  Oracle oracle;
+  oracle.base_root = oracle.state.Commit();
+
+  // Tx_e: submit(roundID=3990300, price=1980) — Figure 5.
+  Transaction txe;
+  txe.sender = oracle.observer;
+  txe.to = oracle.feed;
+  txe.data = PriceFeed::SubmitCall(U256(3'990'300), U256(1980));
+  txe.gas_limit = 200'000;
+  txe.gas_price = U256(80'000'000'000ULL);
+
+  std::printf("=== Speculating Tx_e in four future contexts (Figure 5) ===\n");
+  // FC1: ts 3990462, aggregate branch over price 2000 x4.
+  Hash fc1_root = oracle.RootWith(3'990'300, 2000, 4);
+  Ap ap = oracle.SpeculateAt(fc1_root, 3'990'462, txe, "FC1");
+  // FC2: a rival submission landed first: price 2010 x6.
+  Hash fc2_root = oracle.RootWith(3'990'300, 2010, 6);
+  Ap ap2 = oracle.SpeculateAt(fc2_root, 3'990'462, txe, "FC2");
+  // FC3: FC1's state, later timestamp.
+  Ap ap3 = oracle.SpeculateAt(fc1_root, 3'990'478, txe, "FC3");
+  // FC4: stale active round -> the new-round branch.
+  Hash fc4_root = oracle.RootWith(3'990'000, 0, 0);
+  Ap ap4 = oracle.SpeculateAt(fc4_root, 3'990'478, txe, "FC4");
+
+  bool merged_ok = ap.MergeWith(ap2) && ap.MergeWith(ap3) && ap.MergeWith(ap4);
+  std::printf("\nmerged AP (Figure 10 analog): %s — %zu fast paths, %zu guard nodes, "
+              "%zu shortcut nodes, %zu memo entries\n\n",
+              merged_ok ? "ok" : "FAILED", ap.stats().paths, ap.stats().guard_nodes,
+              ap.stats().shortcut_nodes, ap.stats().memo_entries);
+  std::printf("%s\n", ap.Render().c_str());
+
+  // Exercise the merged AP in every context, checking against the EVM.
+  struct Scenario {
+    const char* name;
+    Hash root;
+    uint64_t timestamp;
+  };
+  Scenario scenarios[] = {
+      {"FC1 (perfect)", fc1_root, 3'990'462},
+      {"FC2 (other ordering)", fc2_root, 3'990'462},
+      {"FC3 (other timestamp)", fc1_root, 3'990'478},
+      {"FC4 (new round branch)", fc4_root, 3'990'478},
+      // Footnote 13: ts=3990555 with activeRoundID=3990000 satisfies FC4's
+      // constraint set but matches no speculated context exactly.
+      {"imperfect (fn. 13)", fc4_root, 3'990'555},
+      // And one violation: a timestamp outside the submitted round.
+      {"violation (next round)", fc1_root, 3'990'700},
+  };
+  std::printf("=== Executing the merged AP in each actual context ===\n");
+  for (const Scenario& s : scenarios) {
+    BlockContext actual;
+    actual.number = 12'024'101;
+    actual.timestamp = s.timestamp;
+    actual.coinbase = Address::FromId(0xBB);
+
+    StateDb accel(&oracle.trie, s.root);
+    ApRunResult run = ap.Execute(&accel, actual);
+
+    StateDb ref(&oracle.trie, s.root);
+    Evm evm(&ref, actual);
+    ExecResult expected = evm.ExecuteTransaction(txe);
+
+    if (run.satisfied) {
+      accel.SetNonce(txe.sender, txe.nonce + 1);
+      accel.SubBalance(txe.sender, U256(run.result.gas_used) * txe.gas_price);
+      accel.AddBalance(actual.coinbase, U256(run.result.gas_used) * txe.gas_price);
+    } else {
+      Evm fallback(&accel, actual);
+      fallback.ExecuteTransaction(txe);
+    }
+    bool roots_match = accel.Commit() == ref.Commit();
+    std::printf("  %-24s satisfied=%-3s perfect=%-3s skipped=%-3zu roots %s\n", s.name,
+                run.satisfied ? "yes" : "no", run.perfect ? "yes" : "no",
+                run.instrs_skipped, roots_match ? "MATCH" : "MISMATCH");
+    if (!roots_match) {
+      return 1;
+    }
+  }
+  std::printf("\nOne merged AP covered four speculated futures and an unforeseen fifth, and "
+              "fell back safely on a real divergence.\n");
+  return 0;
+}

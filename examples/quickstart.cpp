@@ -1,0 +1,96 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+//   1. Build a world state and deploy a contract.
+//   2. Speculatively pre-execute a pending transaction and synthesize an
+//      accelerated program (AP).
+//   3. Execute the transaction on the critical path through the AP — in a
+//      context that differs from the speculated one — and check the result
+//      against the plain EVM.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/contracts/contracts.h"
+#include "src/core/ap.h"
+#include "src/core/trace_builder.h"
+#include "src/evm/evm.h"
+
+using namespace frn;
+
+int main() {
+  // ---- 1. World state ----
+  KvStore store;
+  Mpt trie(&store);
+  StateDb genesis(&trie, Mpt::EmptyRoot());
+
+  Address alice = Address::FromId(1);
+  Address registry = Address::FromId(42);
+  genesis.AddBalance(alice, U256::Exp(U256(10), U256(21)));  // 1000 ETH
+  genesis.SetCode(registry, Registry::Code());
+  Hash root = genesis.Commit();
+  std::printf("genesis state root: %s\n", root.ToHex().c_str());
+
+  // ---- 2. Speculative pre-execution + AP synthesis (off the critical path) ----
+  Transaction tx;
+  tx.sender = alice;
+  tx.to = registry;
+  tx.data = EncodeCall(Registry::kSet, {U256(7), U256(0xBEEF)});
+  tx.gas_limit = 200'000;
+  tx.gas_price = U256(1'000'000'000);
+
+  BlockContext predicted;
+  predicted.number = 100;
+  predicted.timestamp = 1'700'000'013;
+  predicted.coinbase = Address::FromId(0xAA);  // we guess the miner...
+
+  Ap ap;
+  {
+    StateDb scratch(&trie, root);  // a throwaway view: speculation commits nothing
+    TraceBuilder builder(tx, &scratch);
+    Evm evm(&scratch, predicted);
+    ExecResult speculated = evm.ExecuteTransaction(tx, &builder);
+    LinearIr ir;
+    if (!builder.Finalize(speculated, &ir)) {
+      std::printf("synthesis bailed: %s\n", builder.failed_reason().c_str());
+      return 1;
+    }
+    ap = Ap::Build(std::move(ir));
+  }
+  std::printf("\nsynthesized AP: %zu nodes (%zu guards, %zu shortcuts)\n",
+              ap.stats().nodes, ap.stats().guard_nodes, ap.stats().shortcut_nodes);
+  std::printf("%s\n", ap.Render().c_str());
+
+  // ---- 3. Critical path: the actual block looks different ----
+  BlockContext actual = predicted;
+  actual.timestamp += 9;                    // another miner's clock
+  actual.coinbase = Address::FromId(0xBB);  // ...and we guessed wrong
+
+  StateDb state(&trie, root);
+  ApRunResult run = ap.Execute(&state, actual);
+  if (!run.satisfied) {
+    std::printf("constraint violation — would fall back to the EVM\n");
+    return 1;
+  }
+  // Wrapper bookkeeping (nonce + fee), then commit.
+  state.SetNonce(tx.sender, tx.nonce + 1);
+  state.SubBalance(tx.sender, U256(run.result.gas_used) * tx.gas_price);
+  state.AddBalance(actual.coinbase, U256(run.result.gas_used) * tx.gas_price);
+  Hash accelerated_root = state.Commit();
+
+  // Reference: plain EVM from the same root.
+  StateDb ref(&trie, root);
+  Evm evm(&ref, actual);
+  ExecResult expected = evm.ExecuteTransaction(tx);
+  Hash reference_root = ref.Commit();
+
+  std::printf("constraints satisfied despite the different context (perfect=%s)\n",
+              run.perfect ? "yes" : "no");
+  std::printf("gas used: %lu (EVM says %lu)\n", (unsigned long)run.result.gas_used,
+              (unsigned long)expected.gas_used);
+  std::printf("accelerated root: %s\n", accelerated_root.ToHex().c_str());
+  std::printf("reference root:   %s\n", reference_root.ToHex().c_str());
+  std::printf("%s\n", accelerated_root == reference_root
+                          ? "MATCH — speculative execution preserved consensus"
+                          : "MISMATCH — bug!");
+  return accelerated_root == reference_root ? 0 : 1;
+}

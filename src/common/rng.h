@@ -1,0 +1,67 @@
+// Deterministic random number generation. Every stochastic component in the
+// simulator draws from an Rng seeded by the scenario config, so that all
+// tables and figures regenerate bit-identically between runs.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace frn {
+
+// SplitMix64-based generator: tiny state, good mixing, trivially forkable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // True with the given probability.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 1e-18;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Log-normal with the given location/scale of the underlying normal.
+  double NextLogNormal(double mu, double sigma) {
+    // Box-Muller from two uniforms.
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 1e-18;
+    }
+    double n = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+    return std::exp(mu + sigma * n);
+  }
+
+  // Forks an independent stream; the fork is a pure function of (state, salt).
+  Rng Fork(uint64_t salt) {
+    uint64_t s = state_ ^ (salt * 0xD6E8FEB86659FD93ULL + 0xA5A5A5A5A5A5A5A5ULL);
+    return Rng(s);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,117 @@
+#include "src/common/types.h"
+
+namespace frn {
+
+namespace {
+
+const char* kHexDigits = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Address Address::FromU256(const U256& v) {
+  auto be = v.ToBigEndian();
+  std::array<uint8_t, 20> out;
+  std::memcpy(out.data(), be.data() + 12, 20);
+  return Address(out);
+}
+
+Address Address::FromHex(std::string_view hex) {
+  return FromU256(U256::FromHex(hex));
+}
+
+Address Address::FromId(uint64_t id) {
+  // Spread the id across the address so distinct ids never collide and the
+  // bytes do not look sequential in trie key space.
+  std::array<uint8_t, 20> out{};
+  uint64_t x = id * 0x9E3779B97F4A7C15ULL + 0x60bee2bee120fc15ULL;
+  for (int i = 0; i < 20; ++i) {
+    x ^= x >> 31;
+    x *= 0xD6E8FEB86659FD93ULL;
+    out[i] = static_cast<uint8_t>(x >> (8 * (i % 8)));
+  }
+  return Address(out);
+}
+
+U256 Address::ToU256() const { return U256::FromBigEndian(bytes_.data(), bytes_.size()); }
+
+std::string Address::ToHex() const {
+  std::string s = "0x";
+  for (uint8_t b : bytes_) {
+    s.push_back(kHexDigits[b >> 4]);
+    s.push_back(kHexDigits[b & 0xF]);
+  }
+  return s;
+}
+
+bool Address::IsZero() const {
+  for (uint8_t b : bytes_) {
+    if (b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Hash::ToHex() const {
+  std::string s = "0x";
+  for (uint8_t b : bytes_) {
+    s.push_back(kHexDigits[b >> 4]);
+    s.push_back(kHexDigits[b & 0xF]);
+  }
+  return s;
+}
+
+bool Hash::IsZero() const {
+  for (uint8_t b : bytes_) {
+    if (b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string BytesToHex(const Bytes& data) {
+  std::string s = "0x";
+  for (uint8_t b : data) {
+    s.push_back(kHexDigits[b >> 4]);
+    s.push_back(kHexDigits[b & 0xF]);
+  }
+  return s;
+}
+
+Bytes HexToBytes(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    int v = HexValue(c);
+    if (v < 0) {
+      continue;
+    }
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  return out;
+}
+
+}  // namespace frn

@@ -1,0 +1,86 @@
+// Fundamental value types shared across the whole system: addresses, hashes,
+// byte buffers and hex rendering helpers.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/u256.h"
+
+namespace frn {
+
+using Bytes = std::vector<uint8_t>;
+
+// A 20-byte Ethereum account address.
+class Address {
+ public:
+  Address() : bytes_{} {}
+  explicit Address(const std::array<uint8_t, 20>& b) : bytes_(b) {}
+  // Low 20 bytes of a word (EVM address truncation rule).
+  static Address FromU256(const U256& v);
+  static Address FromHex(std::string_view hex);
+  // Deterministic pseudo-address derived from an integer id (test/workload helper).
+  static Address FromId(uint64_t id);
+
+  const std::array<uint8_t, 20>& bytes() const { return bytes_; }
+  U256 ToU256() const;
+  std::string ToHex() const;
+  bool IsZero() const;
+
+  friend bool operator==(const Address& a, const Address& b) { return a.bytes_ == b.bytes_; }
+  friend bool operator!=(const Address& a, const Address& b) { return !(a == b); }
+  friend bool operator<(const Address& a, const Address& b) { return a.bytes_ < b.bytes_; }
+
+ private:
+  std::array<uint8_t, 20> bytes_;
+};
+
+// A 32-byte hash value (Keccak-256 output, trie roots, tx hashes).
+class Hash {
+ public:
+  Hash() : bytes_{} {}
+  explicit Hash(const std::array<uint8_t, 32>& b) : bytes_(b) {}
+  static Hash FromU256(const U256& v) { return Hash(v.ToBigEndian()); }
+
+  const std::array<uint8_t, 32>& bytes() const { return bytes_; }
+  U256 ToU256() const { return U256::FromBigEndian(bytes_.data(), 32); }
+  std::string ToHex() const;
+  bool IsZero() const;
+
+  friend bool operator==(const Hash& a, const Hash& b) { return a.bytes_ == b.bytes_; }
+  friend bool operator!=(const Hash& a, const Hash& b) { return !(a == b); }
+  friend bool operator<(const Hash& a, const Hash& b) { return a.bytes_ < b.bytes_; }
+
+ private:
+  std::array<uint8_t, 32> bytes_;
+};
+
+struct AddressHasher {
+  size_t operator()(const Address& a) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint8_t b : a.bytes()) {
+      h = (h ^ b) * 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct HashHasher {
+  size_t operator()(const Hash& h) const {
+    uint64_t v;
+    std::memcpy(&v, h.bytes().data(), sizeof v);
+    return static_cast<size_t>(v);
+  }
+};
+
+// Hex helpers for raw byte buffers.
+std::string BytesToHex(const Bytes& data);
+Bytes HexToBytes(std::string_view hex);
+
+}  // namespace frn
+
+#endif  // SRC_COMMON_TYPES_H_

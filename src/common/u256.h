@@ -1,0 +1,115 @@
+// 256-bit unsigned integer arithmetic with the exact wrapping semantics of the
+// EVM word type (Yellow Paper appendix H): all arithmetic is mod 2^256, DIV/MOD
+// by zero yield zero, and the signed variants operate on two's complement.
+#ifndef SRC_COMMON_U256_H_
+#define SRC_COMMON_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace frn {
+
+class U256 {
+ public:
+  // Zero-initialized word.
+  constexpr U256() : limbs_{0, 0, 0, 0} {}
+  constexpr U256(uint64_t v) : limbs_{v, 0, 0, 0} {}  // NOLINT(google-explicit-constructor)
+  constexpr U256(uint64_t l3, uint64_t l2, uint64_t l1, uint64_t l0)
+      : limbs_{l0, l1, l2, l3} {}
+
+  // Parses a hex string with optional 0x prefix; ignores out-of-range digits-free input.
+  static U256 FromHex(std::string_view hex);
+  // Parses a decimal string.
+  static U256 FromDec(std::string_view dec);
+  // Interprets a big-endian byte span (up to 32 bytes) as an integer.
+  static U256 FromBigEndian(const uint8_t* data, size_t len);
+
+  // Little-endian limb access: limb(0) holds bits 0..63.
+  constexpr uint64_t limb(int i) const { return limbs_[i]; }
+  constexpr void set_limb(int i, uint64_t v) { limbs_[i] = v; }
+
+  bool IsZero() const { return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0; }
+  // True when the value fits in 64 bits.
+  bool FitsUint64() const { return (limbs_[1] | limbs_[2] | limbs_[3]) == 0; }
+  // Low 64 bits (truncating).
+  uint64_t AsUint64() const { return limbs_[0]; }
+  // Number of significant bits (0 for zero).
+  int BitLength() const;
+  // Value of bit i (0 = least significant).
+  bool Bit(int i) const { return (limbs_[i >> 6] >> (i & 63)) & 1; }
+
+  // Serializes as 32 big-endian bytes.
+  std::array<uint8_t, 32> ToBigEndian() const;
+  // Lowercase 0x-prefixed hex with leading zeros stripped ("0x0" for zero).
+  std::string ToHex() const;
+  // Decimal rendering.
+  std::string ToDec() const;
+
+  friend bool operator==(const U256& a, const U256& b) {
+    return std::memcmp(a.limbs_, b.limbs_, sizeof a.limbs_) == 0;
+  }
+  friend bool operator!=(const U256& a, const U256& b) { return !(a == b); }
+  // Unsigned comparison.
+  friend bool operator<(const U256& a, const U256& b);
+  friend bool operator>(const U256& a, const U256& b) { return b < a; }
+  friend bool operator<=(const U256& a, const U256& b) { return !(b < a); }
+  friend bool operator>=(const U256& a, const U256& b) { return !(a < b); }
+
+  friend U256 operator+(const U256& a, const U256& b);
+  friend U256 operator-(const U256& a, const U256& b);
+  friend U256 operator*(const U256& a, const U256& b);
+  // EVM semantics: x / 0 == 0.
+  friend U256 operator/(const U256& a, const U256& b);
+  // EVM semantics: x % 0 == 0.
+  friend U256 operator%(const U256& a, const U256& b);
+  friend U256 operator&(const U256& a, const U256& b);
+  friend U256 operator|(const U256& a, const U256& b);
+  friend U256 operator^(const U256& a, const U256& b);
+  friend U256 operator~(const U256& a);
+  // Shift counts >= 256 produce 0 (or all-ones for Sar of negative values).
+  friend U256 operator<<(const U256& a, unsigned n);
+  friend U256 operator>>(const U256& a, unsigned n);
+
+  U256& operator+=(const U256& b) { return *this = *this + b; }
+  U256& operator-=(const U256& b) { return *this = *this - b; }
+
+  // Signed (two's complement) operations per EVM SDIV/SMOD/SLT/SGT.
+  static U256 Sdiv(const U256& a, const U256& b);
+  static U256 Smod(const U256& a, const U256& b);
+  static bool Slt(const U256& a, const U256& b);
+  // (a + b) % m with 512-bit intermediate; m == 0 yields 0.
+  static U256 AddMod(const U256& a, const U256& b, const U256& m);
+  // (a * b) % m with 512-bit intermediate; m == 0 yields 0.
+  static U256 MulMod(const U256& a, const U256& b, const U256& m);
+  // a ** e mod 2^256 by square-and-multiply.
+  static U256 Exp(const U256& a, const U256& e);
+  // EVM SIGNEXTEND: extend the sign of the byte at index `byte_index` (0 = LSB).
+  static U256 SignExtend(const U256& byte_index, const U256& value);
+  // EVM BYTE: i-th byte counting from the most significant (0..31); 0 if out of range.
+  static U256 ByteAt(const U256& i, const U256& value);
+  // EVM SAR: arithmetic shift right by `shift` (saturating for shift >= 256).
+  static U256 Sar(const U256& shift, const U256& value);
+
+  bool IsNegative() const { return limbs_[3] >> 63; }
+  U256 Negate() const { return U256() - *this; }
+
+  // Returns {quotient, remainder}; divisor must be non-zero.
+  static std::pair<U256, U256> DivMod(const U256& a, const U256& b);
+
+  // FNV-style hash for use in hash maps.
+  size_t HashValue() const;
+
+ private:
+  uint64_t limbs_[4];  // little-endian: limbs_[0] is least significant
+};
+
+struct U256Hasher {
+  size_t operator()(const U256& v) const { return v.HashValue(); }
+};
+
+}  // namespace frn
+
+#endif  // SRC_COMMON_U256_H_

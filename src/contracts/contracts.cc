@@ -1,0 +1,954 @@
+#include "src/contracts/contracts.h"
+
+#include "src/crypto/keccak.h"
+#include "src/easm/easm.h"
+
+namespace frn {
+
+namespace {
+
+// Shared dispatch prologue: leaves the selector on the stack and falls through
+// to a revert for unknown selectors.
+constexpr char kTransferTopicHex[] =
+    "0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef";
+
+const Bytes& CachedAssemble(const char* source) {
+  // Each contract's source is assembled once per process.
+  static std::unordered_map<const char*, Bytes> cache;
+  auto it = cache.find(source);
+  if (it == cache.end()) {
+    it = cache.emplace(source, Assemble(source)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Bytes EncodeCall(uint32_t selector, std::initializer_list<U256> args) {
+  Bytes out;
+  out.reserve(4 + 32 * args.size());
+  out.push_back(static_cast<uint8_t>(selector >> 24));
+  out.push_back(static_cast<uint8_t>(selector >> 16));
+  out.push_back(static_cast<uint8_t>(selector >> 8));
+  out.push_back(static_cast<uint8_t>(selector));
+  for (const U256& arg : args) {
+    auto be = arg.ToBigEndian();
+    out.insert(out.end(), be.begin(), be.end());
+  }
+  return out;
+}
+
+Bytes MakeInitCode(const Bytes& runtime) {
+  // PUSH2 len; PUSH2 data_offset; PUSH1 0; CODECOPY; PUSH2 len; PUSH1 0; RETURN; <runtime>
+  constexpr size_t kPrologue = 15;
+  Bytes init;
+  auto push2 = [&](size_t v) {
+    init.push_back(0x61);
+    init.push_back(static_cast<uint8_t>(v >> 8));
+    init.push_back(static_cast<uint8_t>(v));
+  };
+  push2(runtime.size());
+  push2(kPrologue);
+  init.push_back(0x60);  // PUSH1 0
+  init.push_back(0x00);
+  init.push_back(0x39);  // CODECOPY
+  push2(runtime.size());
+  init.push_back(0x60);  // PUSH1 0
+  init.push_back(0x00);
+  init.push_back(0xf3);  // RETURN
+  init.insert(init.end(), runtime.begin(), runtime.end());
+  return init;
+}
+
+// ---------------------------------------------------------------------------
+// PriceFeed — direct translation of the paper's Figure 4.
+// ---------------------------------------------------------------------------
+Bytes PriceFeed::Code() {
+  static const char* kSource = R"(
+    ; dispatch
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @submit
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @latest
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  submit:               ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; roundID            (s7)
+    PUSH 36
+    CALLDATALOAD        ; price              (s7)
+    TIMESTAMP           ; curTime            (s8)
+    DUP1
+    PUSH 300
+    SWAP1
+    MOD                 ; curTime % 300      (s9)
+    SWAP1
+    SUB                 ; curRoundID         (s9)
+    DUP3
+    EQ                  ; roundID == curRoundID (s10)
+    PUSH @roundok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT              ; revert()           (s10)
+  roundok:              ; [sel, rid, price]
+    PUSH 0
+    SLOAD               ; activeRoundID      (s12)
+    DUP3
+    GT                  ; activeRoundID < roundID (s12)
+    PUSH @newround
+    JUMPI
+    ; else branch: aggregate into the running average (s16-s22)
+    DUP2
+    PUSH 0
+    MSTORE              ; mem[0] = roundID
+    PUSH 1
+    PUSH 32
+    MSTORE              ; mem[32] = prices slot index
+    PUSH 64
+    PUSH 0
+    SHA3                ; &prices[roundID]   (s17)
+    DUP1
+    SLOAD               ; curPrice           (s17)
+    PUSH 2
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &counts[roundID]   (s18)
+    DUP1
+    SLOAD               ; curCount           (s18)
+    DUP1
+    DUP4
+    MUL                 ; curPrice * curCount (s19)
+    DUP6
+    ADD                 ; newSum             (s19)
+    SWAP1
+    PUSH 1
+    ADD                 ; newCount           (s20)
+    DUP1
+    DUP4
+    SSTORE              ; counts[roundID] = newCount (s21)
+    SWAP1
+    DIV                 ; newSum / newCount  (s22)
+    DUP4
+    SSTORE              ; prices[roundID] = avg (s22)
+    STOP
+  newround:             ; [sel, rid, price]  (s13-s15)
+    DUP2
+    PUSH 0
+    SSTORE              ; activeRoundID = roundID (s13)
+    DUP2
+    PUSH 0
+    MSTORE
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &prices[roundID]
+    DUP2
+    SWAP1
+    SSTORE              ; prices[roundID] = price (s14)
+    PUSH 2
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &counts[roundID]
+    PUSH 1
+    SWAP1
+    SSTORE              ; counts[roundID] = 1 (s15)
+    STOP
+
+  latest:               ; [sel]
+    PUSH 0
+    SLOAD               ; activeRoundID
+    PUSH 0
+    MSTORE
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3
+    SLOAD               ; prices[activeRoundID]
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+  )";
+  return CachedAssemble(kSource);
+}
+
+U256 PriceFeed::PriceSlot(const U256& round_id) {
+  return Keccak256TwoWords(round_id, U256(1)).ToU256();
+}
+
+U256 PriceFeed::CountSlot(const U256& round_id) {
+  return Keccak256TwoWords(round_id, U256(2)).ToU256();
+}
+
+// ---------------------------------------------------------------------------
+// Token — ERC-20 core (transfer / approve / transferFrom / mint / balanceOf).
+// ---------------------------------------------------------------------------
+Bytes Token::Code() {
+  static const std::string kSource = std::string(R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @transfer
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @approve
+    JUMPI
+    DUP1
+    PUSH 3
+    EQ
+    PUSH @mint
+    JUMPI
+    DUP1
+    PUSH 4
+    EQ
+    PUSH @balanceof
+    JUMPI
+    DUP1
+    PUSH 5
+    EQ
+    PUSH @transferfrom
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  transfer:             ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; to
+    PUSH 36
+    CALLDATALOAD        ; amount
+    CALLER              ; from        [sel, to, amt, from]
+    PUSH @dotransfer
+    JUMP
+
+  dotransfer:           ; [.., to, amt, from]
+    DUP1
+    PUSH 0
+    MSTORE              ; mem[0] = from
+    PUSH 0
+    PUSH 32
+    MSTORE              ; mem[32] = balances slot
+    PUSH 64
+    PUSH 0
+    SHA3                ; &balances[from]
+    DUP1
+    SLOAD               ; balFrom
+    DUP4                ; amt
+    DUP2                ; balFrom
+    LT                  ; balFrom < amt ?
+    ISZERO
+    PUSH @sufficient
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  sufficient:           ; [.., to, amt, from, slotF, balF]
+    DUP4
+    SWAP1
+    SUB                 ; balF - amt
+    DUP2
+    SSTORE              ; balances[from] = newBalF
+    POP                 ; [.., to, amt, from]
+    DUP3
+    PUSH 0
+    MSTORE              ; mem[0] = to
+    PUSH 64
+    PUSH 0
+    SHA3                ; &balances[to]
+    DUP1
+    SLOAD               ; balTo
+    DUP4
+    ADD                 ; balTo + amt
+    SWAP1
+    SSTORE              ; balances[to] = newBalTo
+    DUP2
+    PUSH 0
+    MSTORE              ; mem[0] = amt (event data)
+    DUP3                ; to   (topic3)
+    DUP2                ; from (topic2)
+    PUSH )") + kTransferTopicHex + R"(
+    PUSH 32
+    PUSH 0
+    LOG3                ; Transfer(from, to, amt)
+    STOP
+
+  approve:              ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; spender
+    PUSH 36
+    CALLDATALOAD        ; amount
+    CALLER
+    PUSH 0
+    MSTORE
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; inner = keccak(caller, 1)
+    PUSH 32
+    MSTORE              ; mem[32] = inner
+    DUP2
+    PUSH 0
+    MSTORE              ; mem[0] = spender
+    PUSH 64
+    PUSH 0
+    SHA3                ; &allowance[caller][spender]
+    SSTORE
+    STOP
+
+  mint:                 ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; to
+    PUSH 36
+    CALLDATALOAD        ; amount
+    DUP2
+    PUSH 0
+    MSTORE
+    PUSH 0
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &balances[to]
+    DUP1
+    SLOAD
+    DUP3
+    ADD                 ; bal + amt
+    SWAP1
+    SSTORE
+    PUSH 2
+    SLOAD               ; totalSupply
+    DUP2
+    ADD
+    PUSH 2
+    SSTORE
+    STOP
+
+  balanceof:            ; [sel]
+    PUSH 4
+    CALLDATALOAD
+    PUSH 0
+    MSTORE
+    PUSH 0
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3
+    SLOAD
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+
+  transferfrom:         ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; from
+    PUSH 36
+    CALLDATALOAD        ; to
+    PUSH 68
+    CALLDATALOAD        ; amount   [sel, from, to, amt]
+    DUP3
+    PUSH 0
+    MSTORE              ; mem[0] = from
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; inner = keccak(from, 1)
+    PUSH 32
+    MSTORE
+    CALLER
+    PUSH 0
+    MSTORE              ; mem[0] = caller
+    PUSH 64
+    PUSH 0
+    SHA3                ; &allowance[from][caller]
+    DUP1
+    SLOAD               ; allowance
+    DUP3                ; amt
+    DUP2                ; allowance
+    LT
+    ISZERO
+    PUSH @tf_ok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  tf_ok:                ; [sel, from, to, amt, slotA, allow]
+    DUP3
+    SWAP1
+    SUB                 ; allow - amt
+    DUP2
+    SSTORE
+    POP                 ; [sel, from, to, amt]
+    DUP3                ; from on top -> [.., to, amt, from] layout for dotransfer
+    PUSH @dotransfer
+    JUMP
+  )";
+  return CachedAssemble(kSource.c_str());
+}
+
+U256 Token::BalanceSlot(const Address& holder) {
+  return Keccak256TwoWords(holder.ToU256(), U256(0)).ToU256();
+}
+
+U256 Token::TransferTopic() { return U256::FromHex(kTransferTopicHex); }
+
+// ---------------------------------------------------------------------------
+// AmmPair — constant-product swap calling into the two Token contracts.
+// ---------------------------------------------------------------------------
+Bytes AmmPair::Code() {
+  static const char* kSource = R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @swap
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @addliq
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  swap:                 ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; amountIn
+    PUSH 36
+    CALLDATALOAD        ; zeroForOne flag
+    DUP1
+    ISZERO
+    PUSH @oneforzero
+    JUMPI
+    POP                 ; [sel, in]
+    PUSH 0
+    SLOAD               ; tokenIn  = token0
+    PUSH 1
+    SLOAD               ; tokenOut = token1
+    PUSH 2
+    SLOAD               ; reserveIn
+    PUSH 3
+    SLOAD               ; reserveOut
+    PUSH 2              ; reserveIn slot
+    PUSH 3              ; reserveOut slot
+    PUSH @doswap
+    JUMP
+  oneforzero:
+    POP
+    PUSH 1
+    SLOAD
+    PUSH 0
+    SLOAD
+    PUSH 3
+    SLOAD
+    PUSH 2
+    SLOAD
+    PUSH 3
+    PUSH 2
+    PUSH @doswap
+    JUMP
+
+  doswap:               ; [sel, in, tin, tout, rin, rout, rinSlot, routSlot]
+    DUP3                ; rout
+    DUP8                ; in
+    MUL                 ; rout * in
+    DUP5                ; rin
+    DUP9                ; in
+    ADD                 ; rin + in
+    SWAP1
+    DIV                 ; out = rout*in / (rin+in)
+    DUP5                ; rin
+    DUP9                ; in
+    ADD                 ; newReserveIn
+    DUP4                ; rinSlot
+    SSTORE
+    DUP1                ; out
+    DUP5                ; rout
+    SUB                 ; newReserveOut
+    DUP3                ; routSlot
+    SSTORE
+    ; tokenIn.transferFrom(caller, this, in)
+    PUSH 0x0000000500000000000000000000000000000000000000000000000000000000
+    PUSH 0
+    MSTORE
+    CALLER
+    PUSH 4
+    MSTORE
+    ADDRESS
+    PUSH 36
+    MSTORE
+    DUP8                ; in
+    PUSH 68
+    MSTORE
+    PUSH 32             ; out size
+    PUSH 128            ; out offset
+    PUSH 100            ; in size
+    PUSH 0              ; in offset
+    PUSH 0              ; value
+    DUP12               ; tokenIn
+    GAS
+    CALL
+    PUSH @c1ok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  c1ok:                 ; [sel, in, tin, tout, rin, rout, rinSlot, routSlot, out]
+    ; tokenOut.transfer(caller, out)
+    PUSH 0x0000000100000000000000000000000000000000000000000000000000000000
+    PUSH 0
+    MSTORE
+    CALLER
+    PUSH 4
+    MSTORE
+    DUP1                ; out
+    PUSH 36
+    MSTORE
+    PUSH 32
+    PUSH 128
+    PUSH 68
+    PUSH 0
+    PUSH 0
+    DUP11               ; tokenOut
+    GAS
+    CALL
+    PUSH @c2ok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  c2ok:                 ; [.., out]
+    PUSH 0
+    MSTORE              ; mem[0] = out
+    PUSH 32
+    PUSH 0
+    RETURN
+
+  addliq:               ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; amount0
+    PUSH 36
+    CALLDATALOAD        ; amount1
+    ; token0.transferFrom(caller, this, amount0)
+    PUSH 0x0000000500000000000000000000000000000000000000000000000000000000
+    PUSH 0
+    MSTORE
+    CALLER
+    PUSH 4
+    MSTORE
+    ADDRESS
+    PUSH 36
+    MSTORE
+    DUP2                ; amount0
+    PUSH 68
+    MSTORE
+    PUSH 32
+    PUSH 128
+    PUSH 100
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    SLOAD               ; token0
+    GAS
+    CALL
+    PUSH @al1
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  al1:
+    ; token1.transferFrom(caller, this, amount1)
+    PUSH 0x0000000500000000000000000000000000000000000000000000000000000000
+    PUSH 0
+    MSTORE
+    CALLER
+    PUSH 4
+    MSTORE
+    ADDRESS
+    PUSH 36
+    MSTORE
+    DUP1                ; amount1
+    PUSH 68
+    MSTORE
+    PUSH 32
+    PUSH 128
+    PUSH 100
+    PUSH 0
+    PUSH 0
+    PUSH 1
+    SLOAD               ; token1
+    GAS
+    CALL
+    PUSH @al2
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  al2:                  ; [sel, a0, a1]
+    PUSH 2
+    SLOAD
+    DUP3
+    ADD
+    PUSH 2
+    SSTORE              ; reserve0 += a0
+    PUSH 3
+    SLOAD
+    DUP2
+    ADD
+    PUSH 3
+    SSTORE              ; reserve1 += a1
+    STOP
+  )";
+  return CachedAssemble(kSource);
+}
+
+void AmmPair::Deploy(StateDb* state, const Address& pair, const Address& token0,
+                     const Address& token1) {
+  state->SetCode(pair, Code());
+  state->SetStorage(pair, U256(0), token0.ToU256());
+  state->SetStorage(pair, U256(1), token1.ToU256());
+}
+
+// ---------------------------------------------------------------------------
+// Lottery — winner selection from timestamp + coinbase.
+// ---------------------------------------------------------------------------
+Bytes Lottery::Code() {
+  static const char* kSource = R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @enter
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @draw
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  enter:
+    CALLVALUE
+    PUSH 1000000
+    EQ
+    PUSH @enter_ok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  enter_ok:
+    PUSH 0
+    SLOAD               ; count
+    DUP1
+    PUSH 0
+    MSTORE              ; mem[0] = count
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &players[count]
+    CALLER
+    SWAP1
+    SSTORE              ; players[count] = caller
+    PUSH 1
+    ADD
+    PUSH 0
+    SSTORE              ; count += 1
+    STOP
+
+  draw:
+    PUSH 0
+    SLOAD               ; count
+    DUP1
+    ISZERO
+    PUSH @empty
+    JUMPI
+    TIMESTAMP
+    PUSH 0
+    MSTORE
+    COINBASE
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; entropy = keccak(timestamp, coinbase)
+    DUP2
+    SWAP1
+    MOD                 ; idx = entropy % count
+    PUSH 0
+    MSTORE
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &players[idx]
+    SLOAD               ; winner
+    PUSH 0              ; out size
+    PUSH 0              ; out offset
+    PUSH 0              ; in size
+    PUSH 0              ; in offset
+    SELFBALANCE         ; value = whole pot
+    DUP6                ; winner
+    GAS
+    CALL                ; pay the winner
+    POP
+    PUSH 0
+    PUSH 0
+    SSTORE              ; count = 0
+    STOP
+  empty:
+    PUSH 0
+    PUSH 0
+    REVERT
+  )";
+  return CachedAssemble(kSource);
+}
+
+// ---------------------------------------------------------------------------
+// Proxy — transparent DELEGATECALL forwarder.
+// ---------------------------------------------------------------------------
+Bytes Proxy::Code() {
+  static const char* kSource = R"(
+    CALLDATASIZE        ; copy the whole calldata to memory 0
+    PUSH 0
+    PUSH 0
+    CALLDATACOPY
+    PUSH 0              ; out size (returndata handled below)
+    PUSH 0              ; out offset
+    CALLDATASIZE        ; in size
+    PUSH 0              ; in offset
+    PUSH 100
+    SLOAD               ; implementation address
+    GAS
+    DELEGATECALL        ; run impl code in our storage context
+    RETURNDATASIZE      ; bubble the full return/revert data
+    PUSH 0
+    PUSH 0
+    RETURNDATACOPY
+    PUSH @ok
+    JUMPI
+    RETURNDATASIZE
+    PUSH 0
+    REVERT
+  ok:
+    RETURNDATASIZE
+    PUSH 0
+    RETURN
+  )";
+  return CachedAssemble(kSource);
+}
+
+void Proxy::Deploy(StateDb* state, const Address& proxy, const Address& implementation) {
+  state->SetCode(proxy, Code());
+  state->SetStorage(proxy, U256(kImplSlot), implementation.ToU256());
+}
+
+// ---------------------------------------------------------------------------
+// Registry — single mapping write/read.
+// ---------------------------------------------------------------------------
+Bytes Registry::Code() {
+  static const char* kSource = R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @set
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @get
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  set:
+    PUSH 4
+    CALLDATALOAD        ; key
+    PUSH 0
+    MSTORE
+    PUSH 0
+    PUSH 32
+    MSTORE
+    PUSH 36
+    CALLDATALOAD        ; value
+    PUSH 64
+    PUSH 0
+    SHA3                ; &table[key]
+    SSTORE
+    STOP
+
+  get:
+    PUSH 4
+    CALLDATALOAD
+    PUSH 0
+    MSTORE
+    PUSH 0
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3
+    SLOAD
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+  )";
+  return CachedAssemble(kSource);
+}
+
+// ---------------------------------------------------------------------------
+// Hasher — iterated keccak, gas proportional to the iteration argument.
+// ---------------------------------------------------------------------------
+void Hasher::SeedState(StateDb* state, const Address& addr) {
+  for (uint64_t i = 1; i <= 64; ++i) {
+    state->SetStorage(addr, U256(i), Keccak256Word(U256(i)).ToU256());
+  }
+}
+
+Bytes Hasher::Code() {
+  static const char* kSource = R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @run
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @runstateful
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  runstateful:          ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; n
+    PUSH 36
+    CALLDATALOAD        ; h = seed   [sel, n, h]
+  sloop:
+    DUP2
+    ISZERO
+    PUSH @sdone
+    JUMPI
+    DUP1
+    PUSH 63
+    AND
+    PUSH 1
+    ADD                 ; slot = 1 + (h & 63)
+    SLOAD               ; v
+    XOR                 ; h ^ v
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    SHA3                ; h = keccak(h ^ v)
+    SWAP1
+    PUSH 1
+    SWAP1
+    SUB                 ; n -= 1
+    SWAP1
+    PUSH @sloop
+    JUMP
+  sdone:                ; [sel, 0, h]
+    DUP1
+    PUSH 0
+    SSTORE
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+
+  run:                  ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; n
+    PUSH 36
+    CALLDATALOAD        ; h = seed   [sel, n, h]
+  loop:
+    DUP2
+    ISZERO
+    PUSH @done
+    JUMPI
+    PUSH 0
+    MSTORE              ; mem[0] = h
+    PUSH 32
+    PUSH 0
+    SHA3                ; h = keccak(h)
+    SWAP1
+    PUSH 1
+    SWAP1
+    SUB                 ; n -= 1
+    SWAP1
+    PUSH @loop
+    JUMP
+  done:                 ; [sel, 0, h]
+    DUP1
+    PUSH 0
+    SSTORE              ; record the digest
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+  )";
+  return CachedAssemble(kSource);
+}
+
+}  // namespace frn

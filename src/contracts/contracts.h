@@ -1,0 +1,108 @@
+// The contract catalog: hand-assembled EVM bytecode for the workloads the
+// paper's evaluation is driven by. PriceFeed reproduces Figure 4's running
+// example; the others model the dominant Ethereum traffic classes (token
+// transfers, DEX swaps, block-header-dependent apps, cheap registry writes,
+// and compute-heavy transactions for the gas-vs-speedup figure).
+//
+// ABI convention: calldata = 4-byte big-endian selector, then 32-byte words.
+#ifndef SRC_CONTRACTS_CONTRACTS_H_
+#define SRC_CONTRACTS_CONTRACTS_H_
+
+#include <initializer_list>
+
+#include "src/common/types.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+
+// Builds calldata for a selector and word arguments.
+Bytes EncodeCall(uint32_t selector, std::initializer_list<U256> args);
+
+// Builds creation (init) code that deploys the given runtime bytecode — the
+// payload of a contract-creation transaction (tx.to == 0).
+Bytes MakeInitCode(const Bytes& runtime);
+
+// ---- PriceFeed (paper §4.2, Figure 4) ----
+// Storage: slot 0 = activeRoundID, mapping slot 1 = prices, slot 2 = counts.
+struct PriceFeed {
+  static constexpr uint32_t kSubmit = 1;  // submit(roundID, price)
+  static constexpr uint32_t kLatest = 2;  // latest() -> average price of active round
+  static Bytes Code();
+  static Bytes SubmitCall(const U256& round_id, const U256& price) {
+    return EncodeCall(kSubmit, {round_id, price});
+  }
+  // Storage slot helpers used by tests.
+  static U256 PriceSlot(const U256& round_id);
+  static U256 CountSlot(const U256& round_id);
+};
+
+// ---- ERC-20 style token ----
+// Storage: mapping slot 0 = balances, mapping slot 1 = allowances
+// (keccak(spender, keccak(owner, 1))), slot 2 = totalSupply.
+struct Token {
+  static constexpr uint32_t kTransfer = 1;      // transfer(to, amount)
+  static constexpr uint32_t kApprove = 2;       // approve(spender, amount)
+  static constexpr uint32_t kMint = 3;          // mint(to, amount)
+  static constexpr uint32_t kBalanceOf = 4;     // balanceOf(addr)
+  static constexpr uint32_t kTransferFrom = 5;  // transferFrom(from, to, amount)
+  static Bytes Code();
+  static U256 BalanceSlot(const Address& holder);
+  // keccak256("Transfer(address,address,uint256)") — the LOG3 topic.
+  static U256 TransferTopic();
+};
+
+// ---- Constant-product AMM pair over two Token contracts ----
+// Storage: slot 0/1 = token addresses, slot 2/3 = reserves.
+struct AmmPair {
+  static constexpr uint32_t kSwap = 1;          // swap(amountIn, zeroForOne)
+  static constexpr uint32_t kAddLiquidity = 2;  // addLiquidity(amount0, amount1)
+  static Bytes Code();
+  // Installs the pair and wires its token addresses + initial reserves.
+  static void Deploy(StateDb* state, const Address& pair, const Address& token0,
+                     const Address& token1);
+};
+
+// ---- Lottery: block-header-dependent control flow ----
+// Storage: slot 0 = player count, mapping slot 1 = players by index.
+struct Lottery {
+  static constexpr uint32_t kEnter = 1;  // enter() payable (fixed ticket price)
+  static constexpr uint32_t kDraw = 2;   // draw(): winner from timestamp/coinbase
+  static constexpr uint64_t kTicketWei = 1'000'000;
+  static Bytes Code();
+};
+
+// ---- Proxy: transparent DELEGATECALL forwarder ----
+// The upgradeable-proxy pattern ubiquitous on mainnet: all calldata is
+// forwarded to the implementation whose address sits in storage slot 100;
+// the implementation's code runs in the proxy's storage context and the
+// return/revert data is bubbled back unchanged.
+struct Proxy {
+  static constexpr uint64_t kImplSlot = 100;
+  static Bytes Code();
+  static void Deploy(StateDb* state, const Address& proxy, const Address& implementation);
+};
+
+// ---- Registry: minimal one-slot writes ----
+// Storage: mapping slot 0 keyed by arbitrary key.
+struct Registry {
+  static constexpr uint32_t kSet = 1;  // set(key, value)
+  static constexpr uint32_t kGet = 2;  // get(key) -> value
+  static Bytes Code();
+};
+
+// ---- Hasher: compute-heavy loops for the gas/speedup correlation ----
+// run() is pure (folds away entirely under specialization); runStateful()
+// mixes storage slots 1..64 into every round, so its accelerated program must
+// re-read state and relies on memoized shortcuts for its speedup — the
+// behaviour of heavyweight DeFi cascades in Figure 13.
+struct Hasher {
+  static constexpr uint32_t kRun = 1;          // run(iterations, seed) -> digest
+  static constexpr uint32_t kRunStateful = 2;  // runStateful(iterations, seed)
+  static Bytes Code();
+  // Seeds storage slots 1..64 with deterministic values.
+  static void SeedState(StateDb* state, const Address& addr);
+};
+
+}  // namespace frn
+
+#endif  // SRC_CONTRACTS_CONTRACTS_H_

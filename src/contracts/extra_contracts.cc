@@ -1,0 +1,535 @@
+#include "src/contracts/extra_contracts.h"
+
+#include "src/crypto/keccak.h"
+#include "src/easm/easm.h"
+
+namespace frn {
+
+namespace {
+
+const Bytes& CachedAssemble2(const char* source) {
+  static std::unordered_map<const char*, Bytes> cache;
+  auto it = cache.find(source);
+  if (it == cache.end()) {
+    it = cache.emplace(source, Assemble(source)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Nft
+// ---------------------------------------------------------------------------
+
+Bytes Nft::Code() {
+  static const char* kSource = R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @mint
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @transfer
+    JUMPI
+    DUP1
+    PUSH 3
+    EQ
+    PUSH @ownerof
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  mint:                 ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; to
+    PUSH 2
+    SLOAD               ; id = nextId   [sel, to, id]
+    DUP1
+    PUSH 0
+    MSTORE              ; mem[0] = id
+    PUSH 0
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &owners[id]
+    DUP3
+    SWAP1
+    SSTORE              ; owners[id] = to
+    DUP2
+    PUSH 0
+    MSTORE              ; mem[0] = to
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &balances[to]
+    DUP1
+    SLOAD
+    PUSH 1
+    ADD
+    SWAP1
+    SSTORE              ; balances[to] += 1
+    PUSH 1
+    ADD                 ; id + 1
+    PUSH 2
+    SSTORE              ; nextId = id + 1
+    STOP
+
+  transfer:             ; [sel]
+    PUSH 4
+    CALLDATALOAD        ; to
+    PUSH 36
+    CALLDATALOAD        ; id   [sel, to, id]
+    DUP1
+    PUSH 0
+    MSTORE
+    PUSH 0
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &owners[id]
+    DUP1
+    SLOAD               ; owner
+    CALLER
+    EQ                  ; caller owns it?
+    PUSH @t_ok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  t_ok:                 ; [sel, to, id, slotO]
+    DUP3
+    SWAP1
+    SSTORE              ; owners[id] = to
+    CALLER
+    PUSH 0
+    MSTORE
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &balances[caller]
+    DUP1
+    SLOAD
+    PUSH 1
+    SWAP1
+    SUB                 ; balance - 1
+    SWAP1
+    SSTORE
+    DUP2
+    PUSH 0
+    MSTORE              ; mem[0] = to
+    PUSH 64
+    PUSH 0
+    SHA3                ; &balances[to]
+    DUP1
+    SLOAD
+    PUSH 1
+    ADD
+    SWAP1
+    SSTORE
+    DUP1
+    PUSH 0
+    MSTORE              ; event data = id
+    DUP2                ; to   (topic3)
+    CALLER              ; from (topic2)
+    PUSH 0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef
+    PUSH 32
+    PUSH 0
+    LOG3
+    STOP
+
+  ownerof:              ; [sel]
+    PUSH 4
+    CALLDATALOAD
+    PUSH 0
+    MSTORE
+    PUSH 0
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3
+    SLOAD
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+  )";
+  return CachedAssemble2(kSource);
+}
+
+U256 Nft::OwnerSlot(const U256& id) { return Keccak256TwoWords(id, U256(0)).ToU256(); }
+
+U256 Nft::BalanceSlot(const Address& holder) {
+  return Keccak256TwoWords(holder.ToU256(), U256(1)).ToU256();
+}
+
+// ---------------------------------------------------------------------------
+// Auction
+// ---------------------------------------------------------------------------
+
+Bytes Auction::Code() {
+  static const char* kSource = R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @bid
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @settle
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  bid:
+    NUMBER
+    PUSH 2
+    SLOAD               ; end block
+    GT                  ; still open: end > number
+    PUSH @bid_open
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  bid_open:
+    PUSH 0
+    SLOAD               ; highest bid
+    CALLVALUE
+    GT                  ; value > highest
+    PUSH @bid_higher
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  bid_higher:
+    PUSH 0
+    SLOAD               ; highest (to refund)
+    DUP1
+    ISZERO
+    PUSH @bid_store
+    JUMPI
+    ; refund the previous highest bidder
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    DUP5                ; refund amount
+    PUSH 1
+    SLOAD               ; previous bidder
+    GAS
+    CALL
+    POP
+  bid_store:            ; [.., old_highest]
+    POP
+    CALLVALUE
+    PUSH 0
+    SSTORE              ; highest bid = msg.value
+    CALLER
+    PUSH 1
+    SSTORE              ; highest bidder = caller
+    STOP
+
+  settle:
+    NUMBER
+    PUSH 2
+    SLOAD
+    GT                  ; still open?
+    ISZERO
+    PUSH @s_closed
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  s_closed:
+    PUSH 4
+    SLOAD               ; settled flag
+    ISZERO
+    PUSH @s_do
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  s_do:
+    PUSH 1
+    PUSH 4
+    SSTORE              ; settled = 1
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    SLOAD               ; highest bid (the pot)
+    PUSH 3
+    SLOAD               ; beneficiary
+    GAS
+    CALL
+    POP
+    STOP
+  )";
+  return CachedAssemble2(kSource);
+}
+
+void Auction::Deploy(StateDb* state, const Address& auction, const Address& beneficiary,
+                     uint64_t end_block) {
+  state->SetCode(auction, Code());
+  state->SetStorage(auction, U256(2), U256(end_block));
+  state->SetStorage(auction, U256(3), beneficiary.ToU256());
+}
+
+// ---------------------------------------------------------------------------
+// Multisig
+// ---------------------------------------------------------------------------
+
+Bytes Multisig::Code() {
+  static const char* kSource = R"(
+    PUSH 0
+    CALLDATALOAD
+    PUSH 224
+    SHR
+    DUP1
+    PUSH 1
+    EQ
+    PUSH @propose
+    JUMPI
+    DUP1
+    PUSH 2
+    EQ
+    PUSH @confirm
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+
+  propose:              ; [sel]
+    PUSH 10
+    SLOAD
+    CALLER
+    EQ
+    PUSH 11
+    SLOAD
+    CALLER
+    EQ
+    OR
+    PUSH 12
+    SLOAD
+    CALLER
+    EQ
+    OR                  ; caller is one of the three owners
+    PUSH @p_ok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  p_ok:
+    PUSH 4
+    CALLDATALOAD        ; to
+    PUSH 36
+    CALLDATALOAD        ; amount   [sel, to, amt]
+    PUSH 0
+    SLOAD               ; id
+    DUP1
+    PUSH 0
+    MSTORE              ; mem[0] = id
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &to[id]
+    DUP4
+    SWAP1
+    SSTORE              ; to[id] = to
+    PUSH 2
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &amount[id]
+    DUP3
+    SWAP1
+    SSTORE              ; amount[id] = amt
+    DUP1
+    PUSH 1
+    ADD
+    PUSH 0
+    SSTORE              ; count = id + 1
+    PUSH 0
+    MSTORE              ; mem[0] = id
+    PUSH 32
+    PUSH 0
+    RETURN              ; -> id
+
+  confirm:              ; [sel]
+    PUSH 10
+    SLOAD
+    CALLER
+    EQ
+    PUSH 11
+    SLOAD
+    CALLER
+    EQ
+    OR
+    PUSH 12
+    SLOAD
+    CALLER
+    EQ
+    OR
+    PUSH @c_ok
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT
+  c_ok:
+    PUSH 4
+    CALLDATALOAD        ; id   [sel, id]
+    DUP1
+    PUSH 0
+    MSTORE
+    PUSH 4
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; inner = keccak(id, 4)
+    PUSH 32
+    MSTORE
+    CALLER
+    PUSH 0
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &confirmed[id][caller]
+    DUP1
+    SLOAD
+    ISZERO
+    PUSH @c_new
+    JUMPI
+    PUSH 0
+    PUSH 0
+    REVERT              ; double confirmation
+  c_new:                ; [sel, id, slotConfirmed]
+    PUSH 1
+    SWAP1
+    SSTORE              ; confirmed = 1
+    DUP1
+    PUSH 0
+    MSTORE              ; mem[0] = id
+    PUSH 3
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &confirmCount[id]
+    DUP1
+    SLOAD
+    PUSH 1
+    ADD                 ; c + 1   [sel, id, slotCnt, c1]
+    DUP1
+    SWAP2
+    SSTORE              ; confirmCount[id] = c1, keep c1
+    PUSH 13
+    SLOAD               ; threshold
+    GT                  ; threshold > c1 -> not reached yet
+    PUSH @c_done
+    JUMPI
+    ; threshold reached: execute once
+    DUP1
+    PUSH 0
+    MSTORE
+    PUSH 5
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3                ; &executed[id]
+    DUP1
+    SLOAD
+    ISZERO
+    PUSH @c_exec
+    JUMPI
+    POP
+    PUSH @c_done
+    JUMP
+  c_exec:               ; [sel, id, slotExecuted]
+    PUSH 1
+    SWAP1
+    SSTORE              ; executed = 1
+    DUP1
+    PUSH 0
+    MSTORE
+    PUSH 1
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3
+    SLOAD               ; to
+    DUP2
+    PUSH 0
+    MSTORE
+    PUSH 2
+    PUSH 32
+    MSTORE
+    PUSH 64
+    PUSH 0
+    SHA3
+    SLOAD               ; amount    [sel, id, to, amt]
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    DUP5                ; amount
+    DUP7                ; to
+    GAS
+    CALL
+    POP
+  c_done:
+    STOP
+  )";
+  return CachedAssemble2(kSource);
+}
+
+void Multisig::Deploy(StateDb* state, const Address& wallet, const Address& owner0,
+                      const Address& owner1, const Address& owner2, uint64_t threshold) {
+  state->SetCode(wallet, Code());
+  state->SetStorage(wallet, U256(10), owner0.ToU256());
+  state->SetStorage(wallet, U256(11), owner1.ToU256());
+  state->SetStorage(wallet, U256(12), owner2.ToU256());
+  state->SetStorage(wallet, U256(13), U256(threshold));
+}
+
+U256 Multisig::ProposalToSlot(const U256& id) {
+  return Keccak256TwoWords(id, U256(1)).ToU256();
+}
+U256 Multisig::ProposalAmountSlot(const U256& id) {
+  return Keccak256TwoWords(id, U256(2)).ToU256();
+}
+U256 Multisig::ConfirmCountSlot(const U256& id) {
+  return Keccak256TwoWords(id, U256(3)).ToU256();
+}
+U256 Multisig::ExecutedSlot(const U256& id) {
+  return Keccak256TwoWords(id, U256(5)).ToU256();
+}
+
+}  // namespace frn

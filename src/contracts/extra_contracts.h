@@ -1,0 +1,56 @@
+// Second contract family: an ERC-721-style NFT, an English auction whose
+// control flow depends on the block number (deadline checks — another header
+// field the multi-future predictor must get right), and a 2-of-3 multisig
+// wallet whose confirmations create cross-transaction dependencies within a
+// block. Together with contracts.h these cover the application patterns that
+// dominate mainnet traffic.
+#ifndef SRC_CONTRACTS_EXTRA_CONTRACTS_H_
+#define SRC_CONTRACTS_EXTRA_CONTRACTS_H_
+
+#include "src/contracts/contracts.h"
+
+namespace frn {
+
+// ---- Nft: minimal ERC-721 ----
+// Storage: mapping slot 0 = owners (id -> address), mapping slot 1 = balances,
+// slot 2 = next id.
+struct Nft {
+  static constexpr uint32_t kMint = 1;      // mint(to)
+  static constexpr uint32_t kTransfer = 2;  // transfer(to, id); caller must own id
+  static constexpr uint32_t kOwnerOf = 3;   // ownerOf(id) -> address
+  static Bytes Code();
+  static U256 OwnerSlot(const U256& id);
+  static U256 BalanceSlot(const Address& holder);
+};
+
+// ---- Auction: English auction with a block-number deadline ----
+// Storage: slot 0 = highest bid, slot 1 = highest bidder, slot 2 = end block,
+// slot 3 = beneficiary, slot 4 = settled flag.
+struct Auction {
+  static constexpr uint32_t kBid = 1;     // bid() payable; refunds the loser
+  static constexpr uint32_t kSettle = 2;  // settle(); pays the beneficiary
+  static Bytes Code();
+  static void Deploy(StateDb* state, const Address& auction, const Address& beneficiary,
+                     uint64_t end_block);
+};
+
+// ---- Multisig: 2-of-3 owner wallet for plain ETH transfers ----
+// Storage: slot 0 = proposal count, slots 10..12 = owners, slot 13 = threshold,
+// per-proposal mappings: to = keccak(id,1), amount = keccak(id,2),
+// confirmations = keccak(id,3), executed = keccak(id,5),
+// per-owner confirmation flag = keccak(owner, keccak(id,4)).
+struct Multisig {
+  static constexpr uint32_t kPropose = 1;  // propose(to, amount) -> id
+  static constexpr uint32_t kConfirm = 2;  // confirm(id); executes at threshold
+  static Bytes Code();
+  static void Deploy(StateDb* state, const Address& wallet, const Address& owner0,
+                     const Address& owner1, const Address& owner2, uint64_t threshold = 2);
+  static U256 ProposalToSlot(const U256& id);
+  static U256 ProposalAmountSlot(const U256& id);
+  static U256 ConfirmCountSlot(const U256& id);
+  static U256 ExecutedSlot(const U256& id);
+};
+
+}  // namespace frn
+
+#endif  // SRC_CONTRACTS_EXTRA_CONTRACTS_H_

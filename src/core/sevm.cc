@@ -1,0 +1,167 @@
+#include "src/core/sevm.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/crypto/keccak.h"
+#include "src/evm/evm.h"
+
+namespace frn {
+
+const char* SOpName(SOp op) {
+  switch (op) {
+    case SOp::kAdd: return "ADD";
+    case SOp::kMul: return "MUL";
+    case SOp::kSub: return "SUB";
+    case SOp::kDiv: return "DIV";
+    case SOp::kSdiv: return "SDIV";
+    case SOp::kMod: return "MOD";
+    case SOp::kSmod: return "SMOD";
+    case SOp::kAddMod: return "ADDMOD";
+    case SOp::kMulMod: return "MULMOD";
+    case SOp::kExp: return "EXP";
+    case SOp::kSignExtend: return "SIGNEXTEND";
+    case SOp::kLt: return "LT";
+    case SOp::kGt: return "GT";
+    case SOp::kSlt: return "SLT";
+    case SOp::kSgt: return "SGT";
+    case SOp::kEq: return "EQ";
+    case SOp::kIsZero: return "ISZERO";
+    case SOp::kAnd: return "AND";
+    case SOp::kOr: return "OR";
+    case SOp::kXor: return "XOR";
+    case SOp::kNot: return "NOT";
+    case SOp::kByte: return "BYTE";
+    case SOp::kShl: return "SHL";
+    case SOp::kShr: return "SHR";
+    case SOp::kSar: return "SAR";
+    case SOp::kKeccak: return "KECCAK";
+    case SOp::kTimestamp: return "TIMESTAMP";
+    case SOp::kNumber: return "NUMBER";
+    case SOp::kCoinbase: return "COINBASE";
+    case SOp::kDifficulty: return "DIFFICULTY";
+    case SOp::kGasLimit: return "GASLIMIT";
+    case SOp::kBlockHash: return "BLOCKHASH";
+    case SOp::kBalance: return "BALANCE";
+    case SOp::kCodeHash: return "CODEHASH";
+    case SOp::kCodeSize: return "CODESIZE";
+    case SOp::kSload: return "SLOAD";
+    case SOp::kGuard: return "GUARD";
+    case SOp::kSstore: return "SSTORE";
+    case SOp::kLog: return "LOG";
+    case SOp::kTransfer: return "TRANSFER";
+  }
+  return "?";
+}
+
+bool IsPureCompute(SOp op) {
+  return static_cast<uint8_t>(op) <= static_cast<uint8_t>(SOp::kKeccak);
+}
+
+bool IsContextRead(SOp op) {
+  return static_cast<uint8_t>(op) >= static_cast<uint8_t>(SOp::kTimestamp) &&
+         static_cast<uint8_t>(op) <= static_cast<uint8_t>(SOp::kSload);
+}
+
+bool IsEffect(SOp op) {
+  return op == SOp::kSstore || op == SOp::kLog || op == SOp::kTransfer;
+}
+
+U256 EvalPure(SOp op, const std::vector<U256>& args) {
+  switch (op) {
+    case SOp::kAdd: return args[0] + args[1];
+    case SOp::kMul: return args[0] * args[1];
+    case SOp::kSub: return args[0] - args[1];
+    case SOp::kDiv: return args[0] / args[1];
+    case SOp::kSdiv: return U256::Sdiv(args[0], args[1]);
+    case SOp::kMod: return args[0] % args[1];
+    case SOp::kSmod: return U256::Smod(args[0], args[1]);
+    case SOp::kAddMod: return U256::AddMod(args[0], args[1], args[2]);
+    case SOp::kMulMod: return U256::MulMod(args[0], args[1], args[2]);
+    case SOp::kExp: return U256::Exp(args[0], args[1]);
+    case SOp::kSignExtend: return U256::SignExtend(args[0], args[1]);
+    case SOp::kLt: return args[0] < args[1] ? U256(1) : U256();
+    case SOp::kGt: return args[0] > args[1] ? U256(1) : U256();
+    case SOp::kSlt: return U256::Slt(args[0], args[1]) ? U256(1) : U256();
+    case SOp::kSgt: return U256::Slt(args[1], args[0]) ? U256(1) : U256();
+    case SOp::kEq: return args[0] == args[1] ? U256(1) : U256();
+    case SOp::kIsZero: return args[0].IsZero() ? U256(1) : U256();
+    case SOp::kAnd: return args[0] & args[1];
+    case SOp::kOr: return args[0] | args[1];
+    case SOp::kXor: return args[0] ^ args[1];
+    case SOp::kNot: return ~args[0];
+    case SOp::kByte: return U256::ByteAt(args[0], args[1]);
+    case SOp::kShl: {
+      uint64_t n = args[0].FitsUint64() ? args[0].AsUint64() : 256;
+      return args[1] << static_cast<unsigned>(n < 256 ? n : 256);
+    }
+    case SOp::kShr: {
+      uint64_t n = args[0].FitsUint64() ? args[0].AsUint64() : 256;
+      return args[1] >> static_cast<unsigned>(n < 256 ? n : 256);
+    }
+    case SOp::kSar: return U256::Sar(args[0], args[1]);
+    case SOp::kKeccak: {
+      Bytes preimage;
+      preimage.reserve(args.size() * 32);
+      for (const U256& word : args) {
+        auto be = word.ToBigEndian();
+        preimage.insert(preimage.end(), be.begin(), be.end());
+      }
+      return Keccak256(preimage).ToU256();
+    }
+    default:
+      assert(false && "EvalPure on non-compute");
+      return U256();
+  }
+}
+
+U256 EvalRead(SOp op, const std::vector<U256>& args, StateDb* state, const BlockContext& block) {
+  switch (op) {
+    case SOp::kTimestamp: return U256(block.timestamp);
+    case SOp::kNumber: return U256(block.number);
+    case SOp::kCoinbase: return block.coinbase.ToU256();
+    case SOp::kDifficulty: return block.difficulty;
+    case SOp::kGasLimit: return U256(block.gas_limit);
+    case SOp::kBlockHash: {
+      const U256& n = args[0];
+      if (n.FitsUint64() && n.AsUint64() < block.number && n.AsUint64() + 256 >= block.number) {
+        return Evm::BlockHash(block.chain_seed, n.AsUint64()).ToU256();
+      }
+      return U256();
+    }
+    case SOp::kBalance: return state->GetBalance(Address::FromU256(args[0]));
+    case SOp::kCodeHash: return state->GetCodeHash(Address::FromU256(args[0])).ToU256();
+    case SOp::kCodeSize:
+      return U256(static_cast<uint64_t>(state->GetCode(Address::FromU256(args[0])).size()));
+    case SOp::kSload: return state->GetStorage(Address::FromU256(args[0]), args[1]);
+    default:
+      assert(false && "EvalRead on non-read");
+      return U256();
+  }
+}
+
+std::string RenderInstr(const SInstr& instr) {
+  std::ostringstream out;
+  if (instr.dest != kNoReg) {
+    out << "v" << instr.dest << " = ";
+  }
+  out << SOpName(instr.op) << "(";
+  for (size_t i = 0; i < instr.args.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    const Operand& a = instr.args[i];
+    if (a.is_const) {
+      out << a.value.ToHex();
+    } else {
+      out << "v" << a.reg;
+    }
+  }
+  out << ")";
+  if (instr.op == SOp::kGuard) {
+    out << " expect " << instr.expected.ToHex();
+  }
+  return out.str();
+}
+
+}  // namespace frn

@@ -1,0 +1,127 @@
+// S-EVM: Forerunner's register-based intermediate representation (paper §4.3).
+// Each instruction fulfils exactly one of three roles — read, write, or
+// compute — over an unbounded register file. Stack, memory and control-flow
+// instructions of the EVM have no S-EVM counterparts: the translator resolves
+// them away, and the only control flow that remains is the restricted form
+// reintroduced by GUARD instructions.
+#ifndef SRC_CORE_SEVM_H_
+#define SRC_CORE_SEVM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/evm/context.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+
+using RegId = uint32_t;
+inline constexpr RegId kNoReg = UINT32_MAX;
+
+// An instruction argument: either a register or an inline constant.
+struct Operand {
+  static Operand Reg(RegId r) {
+    Operand o;
+    o.is_const = false;
+    o.reg = r;
+    return o;
+  }
+  static Operand Const(const U256& v) {
+    Operand o;
+    o.is_const = true;
+    o.value = v;
+    return o;
+  }
+
+  bool is_const = true;
+  RegId reg = kNoReg;
+  U256 value;
+
+  bool operator==(const Operand& o) const {
+    if (is_const != o.is_const) {
+      return false;
+    }
+    return is_const ? value == o.value : reg == o.reg;
+  }
+};
+
+enum class SOp : uint8_t {
+  // ---- Pure computes (register -> register) ----
+  kAdd,
+  kMul,
+  kSub,
+  kDiv,
+  kSdiv,
+  kMod,
+  kSmod,
+  kAddMod,
+  kMulMod,
+  kExp,
+  kSignExtend,
+  kLt,
+  kGt,
+  kSlt,
+  kSgt,
+  kEq,
+  kIsZero,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kByte,
+  kShl,   // args: (shift, value) like the EVM opcode
+  kShr,
+  kSar,
+  kKeccak,  // args: the preimage as consecutive 32-byte words
+
+  // ---- Context reads ----
+  kTimestamp,
+  kNumber,
+  kCoinbase,
+  kDifficulty,
+  kGasLimit,
+  kBlockHash,  // args: (block number); applies the 256-block window rule
+  kBalance,    // args: (address)
+  kCodeHash,   // args: (address) — code-identity read, guards call targets
+  kCodeSize,   // args: (address)
+  kSload,      // args: (contract address, key)
+
+  // ---- Constraint checking ----
+  kGuard,  // args: (checked operand); `expected` holds the asserted value
+
+  // ---- Effects (the write set; always scheduled after the last guard) ----
+  kSstore,    // args: (contract address, key, value)
+  kLog,       // args: (contract address, topic..., data word...); n_topics set
+  kTransfer,  // args: (from, to, amount)
+};
+
+const char* SOpName(SOp op);
+bool IsPureCompute(SOp op);
+bool IsContextRead(SOp op);
+bool IsEffect(SOp op);
+
+struct SInstr {
+  SOp op;
+  RegId dest = kNoReg;
+  std::vector<Operand> args;
+  U256 expected;        // kGuard: the asserted value
+  uint8_t n_topics = 0;  // kLog: how many leading args after the address are topics
+
+  bool SameShape(const SInstr& o) const {
+    return op == o.op && dest == o.dest && args == o.args && n_topics == o.n_topics;
+  }
+};
+
+// Evaluates a pure compute given resolved argument values.
+U256 EvalPure(SOp op, const std::vector<U256>& args);
+
+// Evaluates a context read against live state (kTimestamp..kSload).
+U256 EvalRead(SOp op, const std::vector<U256>& args, StateDb* state, const BlockContext& block);
+
+// Human-readable rendering for debugging and the Figure 8-style listings.
+std::string RenderInstr(const SInstr& instr);
+
+}  // namespace frn
+
+#endif  // SRC_CORE_SEVM_H_

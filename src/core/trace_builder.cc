@@ -1,0 +1,949 @@
+#include "src/core/trace_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+namespace frn {
+
+namespace {
+
+// Maps an EVM arithmetic/comparison/bitwise opcode to its S-EVM compute.
+std::optional<SOp> ComputeOpFor(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return SOp::kAdd;
+    case Opcode::kMul: return SOp::kMul;
+    case Opcode::kSub: return SOp::kSub;
+    case Opcode::kDiv: return SOp::kDiv;
+    case Opcode::kSdiv: return SOp::kSdiv;
+    case Opcode::kMod: return SOp::kMod;
+    case Opcode::kSmod: return SOp::kSmod;
+    case Opcode::kAddmod: return SOp::kAddMod;
+    case Opcode::kMulmod: return SOp::kMulMod;
+    case Opcode::kExp: return SOp::kExp;
+    case Opcode::kSignextend: return SOp::kSignExtend;
+    case Opcode::kLt: return SOp::kLt;
+    case Opcode::kGt: return SOp::kGt;
+    case Opcode::kSlt: return SOp::kSlt;
+    case Opcode::kSgt: return SOp::kSgt;
+    case Opcode::kEq: return SOp::kEq;
+    case Opcode::kIszero: return SOp::kIsZero;
+    case Opcode::kAnd: return SOp::kAnd;
+    case Opcode::kOr: return SOp::kOr;
+    case Opcode::kXor: return SOp::kXor;
+    case Opcode::kNot: return SOp::kNot;
+    case Opcode::kByte: return SOp::kByte;
+    case Opcode::kShl: return SOp::kShl;
+    case Opcode::kShr: return SOp::kShr;
+    case Opcode::kSar: return SOp::kSar;
+    default: return std::nullopt;
+  }
+}
+
+std::string ValueNumberKey(SOp op, const std::vector<Operand>& args) {
+  std::string key;
+  key.push_back(static_cast<char>(op));
+  for (const Operand& a : args) {
+    if (a.is_const) {
+      key.push_back('c');
+      auto be = a.value.ToBigEndian();
+      key.append(reinterpret_cast<const char*>(be.data()), be.size());
+    } else {
+      key.push_back('r');
+      key.append(reinterpret_cast<const char*>(&a.reg), sizeof a.reg);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+TraceBuilder::TraceBuilder(const Transaction& tx, StateDb* state) : tx_(tx), state_(state) {
+  sender_gas_prepaid_ = U256(tx.gas_limit) * tx.gas_price;
+  if (tx.to.IsZero()) {
+    // Contract deployment installs code, which the AP effect set does not
+    // model; creations always take the fallback path.
+    Bail("contract creation transaction");
+  }
+
+  Frame top;
+  top.self = tx.to;
+  top.caller_addr = tx.sender;
+  top.call_value = Operand::Const(tx.value);
+  top.calldata_is_tx = true;
+  top.calldata_size = tx.data.size();
+  frames_.push_back(std::move(top));
+  stacks_.emplace_back();
+
+  // The up-front transfers the wrapper performs: gas purchase (compensated via
+  // sender_gas_prepaid_) and the tx-level value transfer, which is a real
+  // effect that must be committed on success.
+  if (!tx.value.IsZero()) {
+    pending_.transfers.push_back({tx.sender, tx.to, Operand::Const(tx.value)});
+  }
+
+  read_set_.accounts.push_back(tx.sender);
+  read_set_.accounts.push_back(tx.to);
+}
+
+void TraceBuilder::Bail(const std::string& reason) {
+  if (failed_reason_.empty()) {
+    failed_reason_ = reason;
+  }
+}
+
+RegId TraceBuilder::NewReg(const U256& traced_value) {
+  traced_values_.push_back(traced_value);
+  return static_cast<RegId>(traced_values_.size() - 1);
+}
+
+Operand TraceBuilder::EmitCompute(SOp op, std::vector<Operand> args, bool is_decomposition,
+                                  bool for_constraint) {
+  bool all_const = true;
+  for (const Operand& a : args) {
+    if (!a.is_const) {
+      all_const = false;
+      break;
+    }
+  }
+  if (all_const) {
+    std::vector<U256> values;
+    values.reserve(args.size());
+    for (const Operand& a : args) {
+      values.push_back(a.value);
+    }
+    ++stats_.constant_folded;
+    return Operand::Const(EvalPure(op, values));
+  }
+  std::string key = ValueNumberKey(op, args);
+  auto it = value_numbers_.find(key);
+  if (it != value_numbers_.end()) {
+    ++stats_.cse_eliminated;
+    return it->second;
+  }
+  std::vector<U256> traced_args;
+  traced_args.reserve(args.size());
+  for (const Operand& a : args) {
+    traced_args.push_back(TracedValue(a));
+  }
+  SInstr instr;
+  instr.op = op;
+  instr.dest = NewReg(EvalPure(op, traced_args));
+  instr.args = std::move(args);
+  Operand result = Operand::Reg(instr.dest);
+  instrs_.push_back(std::move(instr));
+  value_numbers_.emplace(std::move(key), result);
+  if (is_decomposition) {
+    ++stats_.decomposition_added;
+  }
+  if (for_constraint) {
+    ++stats_.constraint_instrs_added;
+  }
+  return result;
+}
+
+Operand TraceBuilder::EmitRead(SOp op, std::vector<Operand> args, const U256& traced_value) {
+  std::string key = ValueNumberKey(op, args);
+  auto it = value_numbers_.find(key);
+  if (it != value_numbers_.end()) {
+    ++stats_.cse_eliminated;
+    return it->second;
+  }
+  SInstr instr;
+  instr.op = op;
+  instr.dest = NewReg(traced_value);
+  instr.args = std::move(args);
+  Operand result = Operand::Reg(instr.dest);
+  instrs_.push_back(std::move(instr));
+  value_numbers_.emplace(std::move(key), result);
+  return result;
+}
+
+void TraceBuilder::EmitGuard(const Operand& checked, const U256& expected) {
+  if (checked.is_const) {
+    // A constant can never diverge; the constraint is statically satisfied.
+    assert(checked.value == expected);
+    return;
+  }
+  SInstr instr;
+  instr.op = SOp::kGuard;
+  instr.args = {checked};
+  instr.expected = expected;
+  instrs_.push_back(std::move(instr));
+  ++stats_.guards_inserted;
+}
+
+U256 TraceBuilder::PinToTrace(const Operand& o) {
+  if (o.is_const) {
+    return o.value;
+  }
+  U256 traced = traced_values_[o.reg];
+  EmitGuard(o, traced);
+  return traced;
+}
+
+// ---------------------------------------------------------------------------
+// Memory model
+// ---------------------------------------------------------------------------
+
+void TraceBuilder::WriteSegment(MemMap* mem, uint64_t start, uint64_t len, const Operand& src,
+                                uint32_t src_off) {
+  if (len == 0) {
+    return;
+  }
+  uint64_t end = start + len;
+  // Trim or split any overlapping segments.
+  auto it = mem->lower_bound(start);
+  if (it != mem->begin()) {
+    auto prev = std::prev(it);
+    uint64_t prev_end = prev->first + prev->second.len;
+    if (prev_end > start) {
+      MemSegment left = prev->second;
+      MemSegment right = prev->second;
+      uint64_t prev_start = prev->first;
+      mem->erase(prev);
+      if (prev_start < start) {
+        left.len = start - prev_start;
+        (*mem)[prev_start] = left;
+      }
+      if (prev_end > end) {
+        right.src_off += static_cast<uint32_t>(end - prev_start);
+        right.len = prev_end - end;
+        (*mem)[end] = right;
+      }
+      it = mem->lower_bound(start);
+    }
+  }
+  while (it != mem->end() && it->first < end) {
+    uint64_t seg_start = it->first;
+    uint64_t seg_end = seg_start + it->second.len;
+    MemSegment tail = it->second;
+    it = mem->erase(it);
+    if (seg_end > end) {
+      tail.src_off += static_cast<uint32_t>(end - seg_start);
+      tail.len = seg_end - end;
+      (*mem)[end] = tail;
+      break;
+    }
+  }
+  (*mem)[start] = MemSegment{len, src, src_off};
+}
+
+void TraceBuilder::WriteConstBytes(MemMap* mem, uint64_t start, const Bytes& bytes) {
+  // Chunk into 32-byte const words (final partial word left-aligned).
+  for (size_t i = 0; i < bytes.size(); i += 32) {
+    uint8_t word[32] = {0};
+    size_t n = std::min<size_t>(32, bytes.size() - i);
+    std::memcpy(word, bytes.data() + i, n);
+    WriteSegment(mem, start + i, n, Operand::Const(U256::FromBigEndian(word, 32)), 0);
+  }
+}
+
+Operand TraceBuilder::ReadWord(const MemMap& mem, uint64_t off, uint64_t limit) {
+  // Gather the contributions of each backing segment to the 32 bytes at
+  // [off, off+32); gaps and bytes beyond `limit` read as zero.
+  struct Piece {
+    uint32_t at;       // position in the word (0 = most significant byte)
+    uint32_t len;
+    Operand src;
+    uint32_t src_off;
+  };
+  std::vector<Piece> pieces;
+  uint64_t end = off + 32;
+  if (limit != UINT64_MAX) {
+    end = std::min(end, std::max(off, limit));
+  }
+  auto it = mem.upper_bound(off);
+  if (it != mem.begin()) {
+    --it;
+  }
+  for (; it != mem.end() && it->first < end; ++it) {
+    uint64_t seg_start = it->first;
+    uint64_t seg_end = seg_start + it->second.len;
+    if (seg_end <= off) {
+      continue;
+    }
+    uint64_t lo = std::max(off, seg_start);
+    uint64_t hi = std::min(end, seg_end);
+    if (lo >= hi) {
+      continue;
+    }
+    pieces.push_back(Piece{static_cast<uint32_t>(lo - off), static_cast<uint32_t>(hi - lo),
+                           it->second.src,
+                           it->second.src_off + static_cast<uint32_t>(lo - seg_start)});
+  }
+  if (pieces.empty()) {
+    return Operand::Const(U256());
+  }
+  // Fast path: one segment covering the whole word from byte 0.
+  if (pieces.size() == 1 && pieces[0].at == 0 && pieces[0].len == 32 &&
+      pieces[0].src_off == 0) {
+    return pieces[0].src;
+  }
+  // General composition: OR together the shifted extraction of every piece.
+  U256 const_acc;
+  Operand reg_acc = Operand::Const(U256());
+  bool have_reg = false;
+  for (const Piece& p : pieces) {
+    if (p.src.is_const) {
+      // Extract bytes [src_off, src_off+len) and place at position `at`.
+      U256 x = p.src.value;
+      x = x << (8u * p.src_off);
+      x = x >> (8u * (32 - p.len));
+      x = x << (8u * (32 - p.at - p.len));
+      const_acc = const_acc | x;
+      continue;
+    }
+    Operand x = p.src;
+    if (p.src_off != 0) {
+      x = EmitCompute(SOp::kShl, {Operand::Const(U256(8u * p.src_off)), x}, true);
+    }
+    if (p.len != 32) {
+      x = EmitCompute(SOp::kShr, {Operand::Const(U256(8u * (32 - p.len))), x}, true);
+    }
+    if (32 - p.at - p.len != 0) {
+      x = EmitCompute(SOp::kShl, {Operand::Const(U256(8u * (32 - p.at - p.len))), x}, true);
+    }
+    if (!have_reg) {
+      reg_acc = x;
+      have_reg = true;
+    } else {
+      reg_acc = EmitCompute(SOp::kOr, {reg_acc, x}, true);
+    }
+  }
+  if (!have_reg) {
+    return Operand::Const(const_acc);
+  }
+  if (const_acc.IsZero()) {
+    return reg_acc;
+  }
+  return EmitCompute(SOp::kOr, {Operand::Const(const_acc), reg_acc}, true);
+}
+
+bool TraceBuilder::ReadWords(const MemMap& mem, uint64_t off, uint64_t len, uint64_t limit,
+                             std::vector<Operand>* out) {
+  if (len % 32 != 0) {
+    Bail("non-word-aligned memory range read");
+    return false;
+  }
+  for (uint64_t i = 0; i < len; i += 32) {
+    out->push_back(ReadWord(mem, off + i, limit));
+  }
+  return true;
+}
+
+void TraceBuilder::CopyRange(const MemMap& src, uint64_t src_limit, uint64_t src_off,
+                             MemMap* dst, uint64_t dst_off, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  // Zero-fill first (memory gaps read as zero and must override stale bytes).
+  WriteSegment(dst, dst_off, len, Operand::Const(U256()), 0);
+  uint64_t end = src_off + len;
+  if (src_limit != UINT64_MAX) {
+    end = std::min(end, std::max(src_off, src_limit));
+  }
+  auto it = src.upper_bound(src_off);
+  if (it != src.begin()) {
+    --it;
+  }
+  for (; it != src.end() && it->first < end; ++it) {
+    uint64_t seg_start = it->first;
+    uint64_t seg_end = seg_start + it->second.len;
+    if (seg_end <= src_off) {
+      continue;
+    }
+    uint64_t lo = std::max(src_off, seg_start);
+    uint64_t hi = std::min(end, seg_end);
+    if (lo >= hi) {
+      continue;
+    }
+    WriteSegment(dst, dst_off + (lo - src_off), hi - lo, it->second.src,
+                 it->second.src_off + static_cast<uint32_t>(lo - seg_start));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// State model
+// ---------------------------------------------------------------------------
+
+Operand TraceBuilder::LoadStorage(const Address& addr, const U256& key,
+                                  const U256& traced_value) {
+  auto loc = std::make_pair(addr, key);
+  if (auto it = pending_.storage_writes.find(loc); it != pending_.storage_writes.end()) {
+    ++stats_.state_eliminated;
+    return it->second;
+  }
+  if (auto it = storage_reads_.find(loc); it != storage_reads_.end()) {
+    ++stats_.state_eliminated;
+    return it->second;
+  }
+  Operand value = EmitRead(
+      SOp::kSload, {Operand::Const(addr.ToU256()), Operand::Const(key)}, traced_value);
+  storage_reads_.emplace(loc, value);
+  read_set_.storage_keys.emplace_back(addr, key);
+  return value;
+}
+
+void TraceBuilder::StoreStorage(const Address& addr, const U256& key, const Operand& value) {
+  auto loc = std::make_pair(addr, key);
+  ++pending_.sstore_count;
+  auto [it, inserted] = pending_.storage_writes.insert_or_assign(loc, value);
+  (void)it;
+  if (inserted) {
+    pending_.storage_order.push_back(loc);
+  }
+}
+
+Operand TraceBuilder::ComposeBalance(const Address& addr, const U256& traced_current) {
+  // traced(base) = current + outflows - inflows applied so far.
+  U256 base_traced = traced_current;
+  if (addr == tx_.sender) {
+    base_traced = base_traced + sender_gas_prepaid_;
+  }
+  for (const auto& t : pending_.transfers) {
+    if (t.from == addr) {
+      base_traced = base_traced + TracedValue(t.amount);
+    }
+    if (t.to == addr) {
+      base_traced = base_traced - TracedValue(t.amount);
+    }
+  }
+  Operand base;
+  if (auto it = balance_reads_.find(addr); it != balance_reads_.end()) {
+    base = it->second;
+  } else {
+    base = EmitRead(SOp::kBalance, {Operand::Const(addr.ToU256())}, base_traced);
+    balance_reads_.emplace(addr, base);
+    read_set_.accounts.push_back(addr);
+  }
+  Operand composed = base;
+  if (addr == tx_.sender) {
+    composed =
+        EmitCompute(SOp::kSub, {composed, Operand::Const(sender_gas_prepaid_)}, true);
+  }
+  for (const auto& t : pending_.transfers) {
+    if (t.from == addr) {
+      composed = EmitCompute(SOp::kSub, {composed, t.amount}, true);
+    }
+    if (t.to == addr) {
+      composed = EmitCompute(SOp::kAdd, {composed, t.amount}, true);
+    }
+  }
+  return composed;
+}
+
+// ---------------------------------------------------------------------------
+// Step dispatch
+// ---------------------------------------------------------------------------
+
+void TraceBuilder::OnStep(const TraceStep& step) {
+  if (!ok() || top_frame_done_) {
+    return;
+  }
+  ++stats_.evm_trace_len;
+  switch (step.phase) {
+    case TracePhase::kExec:
+      HandleExec(step);
+      break;
+    case TracePhase::kCallEnter:
+      HandleCallEnter(step);
+      break;
+    case TracePhase::kCallExit:
+      HandleCallExit(step);
+      break;
+  }
+}
+
+void TraceBuilder::HandleExec(const TraceStep& step) {
+  Frame& frame = Top();
+  std::vector<Operand>& stack = Stack();
+  uint8_t opcode_byte = static_cast<uint8_t>(step.op);
+  const OpcodeInfo& info = GetOpcodeInfo(opcode_byte);
+
+  auto pop = [&]() {
+    Operand o = stack.back();
+    stack.pop_back();
+    return o;
+  };
+  auto push_const = [&](const U256& v) { stack.push_back(Operand::Const(v)); };
+
+  // ---- Stack shuffling: eliminated outright ----
+  if (IsPush(opcode_byte)) {
+    ++stats_.stack_eliminated;
+    push_const(step.outputs[0]);
+    return;
+  }
+  if (IsDup(opcode_byte)) {
+    ++stats_.stack_eliminated;
+    stack.push_back(stack[stack.size() - static_cast<size_t>(DupIndex(opcode_byte))]);
+    return;
+  }
+  if (IsSwap(opcode_byte)) {
+    ++stats_.stack_eliminated;
+    std::swap(stack[stack.size() - 1],
+              stack[stack.size() - 1 - static_cast<size_t>(SwapIndex(opcode_byte))]);
+    return;
+  }
+  if (step.op == Opcode::kPop) {
+    ++stats_.stack_eliminated;
+    pop();
+    return;
+  }
+
+  // ---- Pure computes ----
+  if (auto sop = ComputeOpFor(step.op)) {
+    std::vector<Operand> args;
+    for (size_t i = 0; i < step.inputs.size(); ++i) {
+      args.push_back(pop());
+    }
+    stack.push_back(EmitCompute(*sop, std::move(args), false));
+    return;
+  }
+
+  switch (step.op) {
+    // ---- Environment: constants of the transaction/frame ----
+    case Opcode::kAddress:
+    case Opcode::kOrigin:
+    case Opcode::kCaller:
+    case Opcode::kGasprice:
+    case Opcode::kCalldatasize:
+    case Opcode::kCodesize:
+    case Opcode::kChainid:
+    case Opcode::kPc:
+    case Opcode::kMsize:
+    case Opcode::kGas:
+    case Opcode::kReturndatasize:
+      ++stats_.constant_folded;
+      push_const(step.outputs[0]);
+      return;
+    case Opcode::kCallvalue:
+      stack.push_back(frame.call_value);
+      return;
+
+    // ---- Block header: context reads ----
+    case Opcode::kTimestamp:
+      stack.push_back(EmitRead(SOp::kTimestamp, {}, step.outputs[0]));
+      return;
+    case Opcode::kNumber:
+      stack.push_back(EmitRead(SOp::kNumber, {}, step.outputs[0]));
+      return;
+    case Opcode::kCoinbase:
+      stack.push_back(EmitRead(SOp::kCoinbase, {}, step.outputs[0]));
+      return;
+    case Opcode::kDifficulty:
+      stack.push_back(EmitRead(SOp::kDifficulty, {}, step.outputs[0]));
+      return;
+    case Opcode::kGaslimit:
+      stack.push_back(EmitRead(SOp::kGasLimit, {}, step.outputs[0]));
+      return;
+    case Opcode::kBlockhash: {
+      Operand n = pop();
+      stack.push_back(EmitRead(SOp::kBlockHash, {n}, step.outputs[0]));
+      return;
+    }
+
+    // ---- Balances ----
+    case Opcode::kBalance: {
+      Operand addr_op = pop();
+      U256 addr_word = PinToTrace(addr_op);
+      stack.push_back(ComposeBalance(Address::FromU256(addr_word), step.outputs[0]));
+      return;
+    }
+
+    // ---- Code identity reads ----
+    case Opcode::kExtcodehash: {
+      Operand addr_op = pop();
+      U256 addr_word = PinToTrace(addr_op);
+      stack.push_back(EmitRead(SOp::kCodeHash, {Operand::Const(addr_word)}, step.outputs[0]));
+      read_set_.accounts.push_back(Address::FromU256(addr_word));
+      return;
+    }
+    case Opcode::kExtcodesize: {
+      Operand addr_op = pop();
+      U256 addr_word = PinToTrace(addr_op);
+      stack.push_back(EmitRead(SOp::kCodeSize, {Operand::Const(addr_word)}, step.outputs[0]));
+      read_set_.accounts.push_back(Address::FromU256(addr_word));
+      return;
+    }
+    case Opcode::kExtcodecopy: {
+      ++stats_.memory_eliminated;
+      Operand addr_op = pop();
+      Operand dst_op = pop();
+      pop();  // source offset within the (now pinned) code
+      Operand len_op = pop();
+      U256 addr_word = PinToTrace(addr_op);
+      U256 dst = PinToTrace(dst_op);
+      PinToTrace(len_op);
+      // Pin the code identity, then the copied bytes are trace constants.
+      Address target = Address::FromU256(addr_word);
+      Operand code_hash = EmitRead(SOp::kCodeHash, {Operand::Const(addr_word)},
+                                   state_->GetCodeHash(target).ToU256());
+      EmitGuard(code_hash, TracedValue(code_hash));
+      read_set_.accounts.push_back(target);
+      WriteConstBytes(&frame.memory, dst.AsUint64(), step.aux);
+      return;
+    }
+    case Opcode::kSelfbalance:
+      stack.push_back(ComposeBalance(frame.self, step.outputs[0]));
+      return;
+
+    // ---- Calldata ----
+    case Opcode::kCalldataload: {
+      Operand off_op = pop();
+      U256 off = PinToTrace(off_op);
+      if (frame.calldata_is_tx) {
+        ++stats_.constant_folded;
+        push_const(step.outputs[0]);
+        return;
+      }
+      if (!off.FitsUint64()) {
+        push_const(U256());
+        return;
+      }
+      stack.push_back(ReadWord(frame.calldata, off.AsUint64(), frame.calldata_size));
+      return;
+    }
+    case Opcode::kCalldatacopy: {
+      ++stats_.memory_eliminated;
+      Operand dst_op = pop();
+      Operand src_op = pop();
+      Operand len_op = pop();
+      U256 dst = PinToTrace(dst_op);
+      U256 src = PinToTrace(src_op);
+      U256 len = PinToTrace(len_op);
+      if (len.IsZero()) {
+        return;
+      }
+      if (frame.calldata_is_tx) {
+        WriteConstBytes(&frame.memory, dst.AsUint64(), step.aux);
+      } else {
+        CopyRange(frame.calldata, frame.calldata_size, src.AsUint64(), &frame.memory,
+                  dst.AsUint64(), len.AsUint64());
+      }
+      return;
+    }
+    case Opcode::kCodecopy: {
+      ++stats_.memory_eliminated;
+      Operand dst_op = pop();
+      pop();  // source offset: code is constant, aux carries the bytes
+      Operand len_op = pop();
+      U256 dst = PinToTrace(dst_op);
+      PinToTrace(len_op);
+      WriteConstBytes(&frame.memory, dst.AsUint64(), step.aux);
+      return;
+    }
+    case Opcode::kReturndatacopy: {
+      ++stats_.memory_eliminated;
+      Operand dst_op = pop();
+      Operand src_op = pop();
+      Operand len_op = pop();
+      U256 dst = PinToTrace(dst_op);
+      U256 src = PinToTrace(src_op);
+      U256 len = PinToTrace(len_op);
+      CopyRange(frame.last_return, frame.last_return_len, src.AsUint64(), &frame.memory,
+                dst.AsUint64(), len.AsUint64());
+      return;
+    }
+
+    // ---- Memory ----
+    case Opcode::kMload: {
+      ++stats_.memory_eliminated;
+      Operand off_op = pop();
+      U256 off = PinToTrace(off_op);
+      stack.push_back(ReadWord(frame.memory, off.AsUint64(), UINT64_MAX));
+      return;
+    }
+    case Opcode::kMstore: {
+      ++stats_.memory_eliminated;
+      Operand off_op = pop();
+      Operand val = pop();
+      U256 off = PinToTrace(off_op);
+      WriteSegment(&frame.memory, off.AsUint64(), 32, val, 0);
+      return;
+    }
+    case Opcode::kMstore8: {
+      ++stats_.memory_eliminated;
+      Operand off_op = pop();
+      Operand val = pop();
+      U256 off = PinToTrace(off_op);
+      WriteSegment(&frame.memory, off.AsUint64(), 1, val, 31);
+      return;
+    }
+
+    // ---- SHA3 ----
+    case Opcode::kSha3: {
+      Operand off_op = pop();
+      Operand len_op = pop();
+      U256 off = PinToTrace(off_op);
+      U256 len = PinToTrace(len_op);
+      std::vector<Operand> words;
+      if (!ReadWords(frame.memory, off.AsUint64(), len.AsUint64(), UINT64_MAX, &words)) {
+        return;
+      }
+      stack.push_back(EmitCompute(SOp::kKeccak, std::move(words), false));
+      return;
+    }
+
+    // ---- Storage ----
+    case Opcode::kSload: {
+      Operand key_op = pop();
+      U256 key = PinToTrace(key_op);
+      stack.push_back(LoadStorage(frame.self, key, step.outputs[0]));
+      return;
+    }
+    case Opcode::kSstore: {
+      Operand key_op = pop();
+      Operand val = pop();
+      U256 key = PinToTrace(key_op);
+      StoreStorage(frame.self, key, val);
+      return;
+    }
+
+    // ---- Control flow: eliminated, with control constraints ----
+    case Opcode::kJump: {
+      ++stats_.control_eliminated;
+      Operand target = pop();
+      PinToTrace(target);
+      return;
+    }
+    case Opcode::kJumpi: {
+      ++stats_.control_eliminated;
+      Operand target = pop();
+      Operand cond = pop();
+      PinToTrace(target);
+      PinToTrace(cond);
+      return;
+    }
+    case Opcode::kJumpdest:
+      ++stats_.control_eliminated;
+      return;
+    case Opcode::kStop:
+      ++stats_.control_eliminated;
+      if (frames_.size() == 1) {
+        top_frame_done_ = true;
+      }
+      return;
+
+    // ---- Logging ----
+    case Opcode::kLog0:
+    case Opcode::kLog1:
+    case Opcode::kLog2:
+    case Opcode::kLog3:
+    case Opcode::kLog4: {
+      Operand off_op = pop();
+      Operand len_op = pop();
+      int topics = LogTopics(opcode_byte);
+      PendingState::Log log;
+      log.addr = frame.self;
+      for (int i = 0; i < topics; ++i) {
+        log.topics.push_back(pop());
+      }
+      U256 off = PinToTrace(off_op);
+      U256 len = PinToTrace(len_op);
+      log.data_len = len.AsUint64();
+      if (!ReadWords(frame.memory, off.AsUint64(), len.AsUint64(), UINT64_MAX,
+                     &log.data_words)) {
+        return;
+      }
+      pending_.logs.push_back(std::move(log));
+      return;
+    }
+
+    // ---- Frame termination ----
+    case Opcode::kReturn:
+    case Opcode::kRevert: {
+      ++stats_.control_eliminated;
+      Operand off_op = pop();
+      Operand len_op = pop();
+      U256 off = PinToTrace(off_op);
+      U256 len = PinToTrace(len_op);
+      if (frames_.size() == 1) {
+        if (!len.IsZero() &&
+            !ReadWords(frame.memory, off.AsUint64(), len.AsUint64(), UINT64_MAX,
+                       &return_words_)) {
+          return;
+        }
+        top_frame_done_ = true;
+        return;
+      }
+      frame.return_len = len.AsUint64();
+      if (!len.IsZero()) {
+        CopyRange(frame.memory, UINT64_MAX, off.AsUint64(), &frame.return_view, 0,
+                  len.AsUint64());
+      }
+      return;
+    }
+
+    default:
+      Bail(std::string("unsupported opcode in trace: ") + std::string(info.name));
+      return;
+  }
+}
+
+void TraceBuilder::HandleCallEnter(const TraceStep& step) {
+  ++stats_.control_eliminated;
+  Frame& frame = Top();
+  std::vector<Operand>& stack = Stack();
+  if (step.op == Opcode::kCreate) {
+    // The AP effect set does not model code installation.
+    Bail("CREATE in trace");
+    return;
+  }
+  bool is_delegate = (step.op == Opcode::kDelegatecall);
+  bool has_value_arg = (step.op == Opcode::kCall);
+
+  auto pop = [&]() {
+    Operand o = stack.back();
+    stack.pop_back();
+    return o;
+  };
+  pop();  // gas: irrelevant under the deterministic schedule
+  Operand to_op = pop();
+  Operand value_op = has_value_arg ? pop() : Operand::Const(U256());
+  Operand in_off_op = pop();
+  Operand in_size_op = pop();
+  Operand out_off_op = pop();
+  Operand out_size_op = pop();
+
+  // Control constraint: the (possibly computed) call target.
+  U256 to_word = PinToTrace(to_op);
+  Address to = Address::FromU256(to_word);
+  U256 in_off = PinToTrace(in_off_op);
+  U256 in_size = PinToTrace(in_size_op);
+  U256 out_off = PinToTrace(out_off_op);
+  U256 out_size = PinToTrace(out_size_op);
+
+  // Code-identity constraint: the callee's code must be the code that was
+  // speculated against (CREATE can change accounts' code between contexts).
+  Operand code_hash = EmitRead(SOp::kCodeHash, {Operand::Const(to_word)},
+                               state_->GetCodeHash(to).ToU256());
+  EmitGuard(code_hash, TracedValue(code_hash));
+  read_set_.accounts.push_back(to);
+
+  // Snapshot pending effects: a failing sub-call rolls them back.
+  snapshots_.push_back(pending_);
+
+  // Value transfer with its balance-sufficiency constraint (CALL only;
+  // DELEGATECALL inherits the value without moving balances).
+  U256 traced_value = TracedValue(value_op);
+  if (has_value_arg) {
+    if (!value_op.is_const) {
+      Operand iz = EmitCompute(SOp::kIsZero, {value_op}, false, true);
+      EmitGuard(iz, traced_value.IsZero() ? U256(1) : U256());
+    }
+    if (!traced_value.IsZero()) {
+      U256 traced_balance = state_->GetBalance(frame.self);
+      Operand balance = ComposeBalance(frame.self, traced_balance);
+      Operand lt = EmitCompute(SOp::kLt, {balance, value_op}, false, true);
+      U256 traced_lt = (traced_balance < traced_value) ? U256(1) : U256();
+      EmitGuard(lt, traced_lt);
+      if (traced_lt.IsZero()) {
+        pending_.transfers.push_back({frame.self, to, value_op});
+      }
+    }
+  }
+
+  Frame callee;
+  if (is_delegate) {
+    callee.self = frame.self;
+    callee.caller_addr = frame.caller_addr;
+    callee.call_value = frame.call_value;
+  } else {
+    callee.self = to;
+    callee.caller_addr = frame.self;
+    callee.call_value = value_op;
+  }
+  callee.calldata_size = in_size.AsUint64();
+  callee.out_off = out_off.AsUint64();
+  callee.out_size = out_size.AsUint64();
+  CopyRange(frame.memory, UINT64_MAX, in_off.AsUint64(), &callee.calldata, 0,
+            in_size.AsUint64());
+  frames_.push_back(std::move(callee));
+  stacks_.emplace_back();
+}
+
+void TraceBuilder::HandleCallExit(const TraceStep& step) {
+  ++stats_.control_eliminated;
+  if (frames_.size() < 2) {
+    Bail("call exit without matching frame");
+    return;
+  }
+  Frame callee = std::move(frames_.back());
+  frames_.pop_back();
+  stacks_.pop_back();
+  Frame& caller = Top();
+
+  U256 success = step.outputs[0];
+  PendingState snapshot = std::move(snapshots_.back());
+  snapshots_.pop_back();
+  if (success.IsZero()) {
+    pending_ = std::move(snapshot);  // discard the failed call's effects
+  }
+
+  // Write the callee's return data into the caller's output region.
+  uint64_t n = std::min(callee.out_size, callee.return_len);
+  if (n > 0) {
+    CopyRange(callee.return_view, callee.return_len, 0, &caller.memory, callee.out_off, n);
+  }
+  caller.last_return = std::move(callee.return_view);
+  caller.last_return_len = callee.return_len;
+  Stack().push_back(Operand::Const(success));
+}
+
+// ---------------------------------------------------------------------------
+// Finalization
+// ---------------------------------------------------------------------------
+
+bool TraceBuilder::Finalize(const ExecResult& result, LinearIr* out) {
+  if (!ok()) {
+    return false;
+  }
+  out->status = result.status;
+  out->gas_used = result.gas_used;
+
+  // Failed transactions commit nothing (fee bookkeeping is the wrapper's job).
+  bool commit_effects = result.ok();
+  if (commit_effects) {
+    for (const auto& t : pending_.transfers) {
+      SInstr instr;
+      instr.op = SOp::kTransfer;
+      instr.args = {Operand::Const(t.from.ToU256()), Operand::Const(t.to.ToU256()), t.amount};
+      instrs_.push_back(std::move(instr));
+    }
+    for (const auto& loc : pending_.storage_order) {
+      SInstr instr;
+      instr.op = SOp::kSstore;
+      instr.args = {Operand::Const(loc.first.ToU256()), Operand::Const(loc.second),
+                    pending_.storage_writes.at(loc)};
+      instrs_.push_back(std::move(instr));
+    }
+    stats_.state_eliminated += pending_.sstore_count - pending_.storage_order.size();
+    for (const auto& log : pending_.logs) {
+      SInstr instr;
+      instr.op = SOp::kLog;
+      instr.args.push_back(Operand::Const(log.addr.ToU256()));
+      for (const Operand& t : log.topics) {
+        instr.args.push_back(t);
+      }
+      for (const Operand& w : log.data_words) {
+        instr.args.push_back(w);
+      }
+      instr.n_topics = static_cast<uint8_t>(log.topics.size());
+      instrs_.push_back(std::move(instr));
+    }
+    out->return_words = return_words_;
+  } else if (result.status == ExecStatus::kReverted) {
+    out->return_words = return_words_;
+  }
+
+  out->instrs = std::move(instrs_);
+  out->n_regs = static_cast<RegId>(traced_values_.size());
+  out->traced_values = std::move(traced_values_);
+  out->read_set = read_set_;
+  out->stats = stats_;
+  return true;
+}
+
+}  // namespace frn

@@ -1,0 +1,182 @@
+// Translates an instrumented EVM execution into linear S-EVM form, performing
+// in one pass everything Figure 6 shows on the left side of AP synthesis:
+//   - complex instruction decomposition (SHA3 preimage gathering, balance
+//     compensation arithmetic, memory word composition),
+//   - stack-to-register translation in SSA form (the shadow stack holds
+//     operands; PUSH/DUP/SWAP/POP never materialize),
+//   - register promotion (memory accesses become register forwarding; only
+//     the first read of and last write to each context variable survive),
+//   - control-flow elimination with control-constraint GUARDs at every
+//     divergence point (JUMPI conditions, variable JUMP/CALL targets),
+//   - data-constraint GUARDs wherever the translation relied on a concrete
+//     trace value (variable memory offsets, variable storage keys),
+//   - constant folding and common-subexpression elimination (value numbering).
+//
+// The builder is attached to the EVM as a Tracer during speculative
+// pre-execution; Finalize() then yields the single-path LinearIr.
+#ifndef SRC_CORE_TRACE_BUILDER_H_
+#define SRC_CORE_TRACE_BUILDER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/linear_ir.h"
+#include "src/evm/tracer.h"
+
+namespace frn {
+
+class TraceBuilder : public Tracer {
+ public:
+  // `state` is the speculation-time StateDb the traced execution runs on; it
+  // is only consulted for balance baselines at CALL value checks.
+  TraceBuilder(const Transaction& tx, StateDb* state);
+
+  void OnStep(const TraceStep& step) override;
+
+  // True while no unsupported pattern has been hit.
+  bool ok() const { return failed_reason_.empty(); }
+  const std::string& failed_reason() const { return failed_reason_; }
+
+  // Completes translation using the traced execution's result. Returns false
+  // (with ok()==false) when the trace used a pattern the specializer does not
+  // support; the read set is still valid for prefetching in that case.
+  bool Finalize(const ExecResult& result, LinearIr* out);
+
+  const ReadSet& read_set() const { return read_set_; }
+
+ private:
+  // A contiguous run of bytes in a frame's memory, backed by bytes
+  // [src_off, src_off+len) of the 32-byte value `src`.
+  struct MemSegment {
+    uint64_t len = 0;
+    Operand src;
+    uint32_t src_off = 0;
+  };
+  using MemMap = std::map<uint64_t, MemSegment>;  // keyed by start offset
+
+  struct Frame {
+    Address self;
+    Address caller_addr;
+    Operand call_value;
+    MemMap memory;
+    MemMap calldata;          // resolved view of the caller-provided input
+    uint64_t calldata_size = 0;
+    bool calldata_is_tx = false;  // depth 0: read words straight from tx.data
+    // Return data produced by this frame (set at its RETURN/REVERT).
+    MemMap return_view;
+    uint64_t return_len = 0;
+    // Output region in the *caller's* memory (captured at CallEnter).
+    uint64_t out_off = 0;
+    uint64_t out_size = 0;
+    // Last completed sub-call's return data (for RETURNDATASIZE/COPY).
+    MemMap last_return;
+    uint64_t last_return_len = 0;
+  };
+
+  struct StorageKeyHash {
+    size_t operator()(const std::pair<Address, U256>& k) const {
+      return AddressHasher{}(k.first) * 1000003u ^ k.second.HashValue();
+    }
+  };
+
+  struct PendingState {
+    // Last pending write per storage location, plus insertion order.
+    std::unordered_map<std::pair<Address, U256>, Operand, StorageKeyHash> storage_writes;
+    std::vector<std::pair<Address, U256>> storage_order;
+    size_t sstore_count = 0;  // total SSTOREs folded into the map
+    // Ordered balance movements (kTransfer effects).
+    struct Transfer {
+      Address from;
+      Address to;
+      Operand amount;
+    };
+    std::vector<Transfer> transfers;
+    // Pending logs.
+    struct Log {
+      Address addr;
+      std::vector<Operand> topics;
+      std::vector<Operand> data_words;
+      uint64_t data_len = 0;
+    };
+    std::vector<Log> logs;
+  };
+
+  // ---- Emission helpers ----
+  RegId NewReg(const U256& traced_value);
+  Operand EmitCompute(SOp op, std::vector<Operand> args, bool is_decomposition,
+                      bool for_constraint = false);
+  Operand EmitRead(SOp op, std::vector<Operand> args, const U256& traced_value);
+  void EmitGuard(const Operand& checked, const U256& expected);
+  U256 TracedValue(const Operand& o) const {
+    return o.is_const ? o.value : traced_values_[o.reg];
+  }
+  // Pins a non-const operand to its traced value with a data guard and
+  // returns the concrete value; consts pass through.
+  U256 PinToTrace(const Operand& o);
+
+  // ---- Memory model ----
+  static void WriteSegment(MemMap* mem, uint64_t start, uint64_t len, const Operand& src,
+                           uint32_t src_off);
+  void WriteConstBytes(MemMap* mem, uint64_t start, const Bytes& bytes);
+  // Reads 32 bytes at `off` from `mem` (bytes beyond `limit` are zero;
+  // limit == UINT64_MAX means unlimited). May emit compose instructions.
+  Operand ReadWord(const MemMap& mem, uint64_t off, uint64_t limit);
+  // Reads a size%32==0 range as word operands; bails on unsupported shapes.
+  bool ReadWords(const MemMap& mem, uint64_t off, uint64_t len, uint64_t limit,
+                 std::vector<Operand>* out);
+  // Copies [src_off, src_off+len) of `src` into `dst` at dst_off, zero-filling
+  // bytes beyond src_limit.
+  void CopyRange(const MemMap& src, uint64_t src_limit, uint64_t src_off, MemMap* dst,
+                 uint64_t dst_off, uint64_t len);
+
+  // ---- State model ----
+  Operand LoadStorage(const Address& addr, const U256& key, const U256& traced_value);
+  void StoreStorage(const Address& addr, const U256& key, const Operand& value);
+  // Balance of `addr` as seen mid-execution: committed read + compensation.
+  Operand ComposeBalance(const Address& addr, const U256& traced_current);
+  void Bail(const std::string& reason);
+
+  // ---- Step handlers ----
+  void HandleExec(const TraceStep& step);
+  void HandleCallEnter(const TraceStep& step);
+  void HandleCallExit(const TraceStep& step);
+
+  Frame& Top() { return frames_.back(); }
+  std::vector<Operand>& Stack() { return stacks_.back(); }
+
+  Transaction tx_;
+  StateDb* state_;
+
+  std::vector<SInstr> instrs_;
+  std::vector<U256> traced_values_;
+  ReadSet read_set_;
+  SynthesisStats stats_;
+  std::string failed_reason_;
+
+  std::vector<Frame> frames_;
+  std::vector<std::vector<Operand>> stacks_;
+
+  PendingState pending_;
+  // Snapshots for sub-call rollback, pushed at CallEnter.
+  std::vector<PendingState> snapshots_;
+
+  // First committed read per location (register promotion).
+  std::unordered_map<std::pair<Address, U256>, Operand, StorageKeyHash> storage_reads_;
+  std::unordered_map<Address, Operand, AddressHasher> balance_reads_;
+  // Gas purchased up-front by the wrapper; compensates sender balance reads.
+  U256 sender_gas_prepaid_;
+
+  // Value numbering for CSE over pure computes and context reads.
+  std::unordered_map<std::string, Operand> value_numbers_;
+
+  // Return data of the top-level frame.
+  std::vector<Operand> return_words_;
+  bool top_frame_done_ = false;
+};
+
+}  // namespace frn
+
+#endif  // SRC_CORE_TRACE_BUILDER_H_

@@ -1,0 +1,104 @@
+#include "src/crypto/keccak.h"
+
+#include <bit>
+#include <cstring>
+
+namespace frn {
+
+namespace {
+
+constexpr int kRounds = 24;
+constexpr size_t kRateBytes = 136;  // 1088-bit rate for Keccak-256
+
+constexpr uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL, 0x8000000080008000ULL,
+    0x000000000000808bULL, 0x0000000080000001ULL, 0x8000000080008081ULL, 0x8000000000008009ULL,
+    0x000000000000008aULL, 0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL, 0x8000000000008003ULL,
+    0x8000000000008002ULL, 0x8000000000000080ULL, 0x000000000000800aULL, 0x800000008000000aULL,
+    0x8000000080008081ULL, 0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kRhoOffsets[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                                 25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+void KeccakF1600(uint64_t state[25]) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      uint64_t d = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) {
+        state[x + 5 * y] ^= d;
+      }
+    }
+    // Rho + Pi.
+    uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = std::rotl(state[x + 5 * y], kRhoOffsets[x + 5 * y]);
+      }
+    }
+    // Chi.
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        state[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota.
+    state[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Hash Keccak256(const uint8_t* data, size_t len) {
+  uint64_t state[25] = {0};
+  // Absorb full blocks.
+  while (len >= kRateBytes) {
+    for (size_t i = 0; i < kRateBytes / 8; ++i) {
+      uint64_t lane;
+      std::memcpy(&lane, data + 8 * i, 8);
+      state[i] ^= lane;
+    }
+    KeccakF1600(state);
+    data += kRateBytes;
+    len -= kRateBytes;
+  }
+  // Final partial block with 0x01...0x80 padding.
+  uint8_t block[kRateBytes] = {0};
+  std::memcpy(block, data, len);
+  block[len] = 0x01;
+  block[kRateBytes - 1] |= 0x80;
+  for (size_t i = 0; i < kRateBytes / 8; ++i) {
+    uint64_t lane;
+    std::memcpy(&lane, block + 8 * i, 8);
+    state[i] ^= lane;
+  }
+  KeccakF1600(state);
+  // Squeeze the first 32 bytes.
+  std::array<uint8_t, 32> out;
+  std::memcpy(out.data(), state, 32);
+  return Hash(out);
+}
+
+Hash Keccak256(const Bytes& data) { return Keccak256(data.data(), data.size()); }
+
+Hash Keccak256Word(const U256& word) {
+  auto be = word.ToBigEndian();
+  return Keccak256(be.data(), be.size());
+}
+
+Hash Keccak256TwoWords(const U256& a, const U256& b) {
+  uint8_t buf[64];
+  auto be_a = a.ToBigEndian();
+  auto be_b = b.ToBigEndian();
+  std::memcpy(buf, be_a.data(), 32);
+  std::memcpy(buf + 32, be_b.data(), 32);
+  return Keccak256(buf, 64);
+}
+
+}  // namespace frn

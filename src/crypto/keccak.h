@@ -1,0 +1,24 @@
+// Keccak-256 as used by Ethereum (the original Keccak padding 0x01, not the
+// NIST SHA3-2015 padding 0x06). Implements the full Keccak-f[1600] permutation.
+#ifndef SRC_CRYPTO_KECCAK_H_
+#define SRC_CRYPTO_KECCAK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace frn {
+
+// Hashes an arbitrary byte span.
+Hash Keccak256(const uint8_t* data, size_t len);
+Hash Keccak256(const Bytes& data);
+
+// Hashes the 32-byte big-endian encoding of one or two words; these are the
+// forms used by Solidity's mapping-slot derivation.
+Hash Keccak256Word(const U256& word);
+Hash Keccak256TwoWords(const U256& a, const U256& b);
+
+}  // namespace frn
+
+#endif  // SRC_CRYPTO_KECCAK_H_

@@ -1,0 +1,20 @@
+// A consensus-produced block: the header (execution context) plus the ordered
+// transaction list. Kept header-only so both the node and the network
+// emulator can share it.
+#ifndef SRC_DICE_BLOCK_H_
+#define SRC_DICE_BLOCK_H_
+
+#include <vector>
+
+#include "src/evm/context.h"
+
+namespace frn {
+
+struct Block {
+  BlockContext header;
+  std::vector<Transaction> txs;
+};
+
+}  // namespace frn
+
+#endif  // SRC_DICE_BLOCK_H_

@@ -1,0 +1,332 @@
+#include "src/dice/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace frn {
+
+namespace {
+
+uint64_t TieHash(uint64_t salt, uint64_t tx_id) {
+  uint64_t x = salt ^ (tx_id * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::pair<Address, double>> MinerCandidates(
+    const std::vector<MinerModel>& miners) {
+  std::vector<std::pair<Address, double>> out;
+  out.reserve(miners.size());
+  for (const MinerModel& m : miners) {
+    out.emplace_back(m.coinbase, m.weight);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+DiceSimulator::DiceSimulator(const DiceOptions& options, std::vector<TimedTx> traffic)
+    : options_(options), traffic_(std::move(traffic)), rng_(options.seed) {
+  // Miner population with a skewed hash-power distribution (no miner
+  // dominates, mirroring §4.2's probabilistic miner selection).
+  for (size_t i = 0; i < options_.n_miners; ++i) {
+    MinerModel m;
+    m.coinbase = Address::FromId(0xA11CE000 + i);
+    m.weight = 1.0 / static_cast<double>(1 + i);  // Zipf-ish
+    m.delay_mu = options_.miner_delay_mu;
+    m.delay_sigma = options_.miner_delay_sigma;
+    m.timestamp_skew = static_cast<int>(rng_.NextBounded(7)) - 3;
+    m.tie_salt = rng_.NextU64();
+    miners_.push_back(m);
+  }
+}
+
+std::vector<Transaction> DiceSimulator::PackBlock(
+    const MinerModel& miner, double now, const std::vector<double>& miner_heard,
+    const std::vector<bool>& included,
+    const std::unordered_map<Address, uint64_t, AddressHasher>& chain_nonces) {
+  // Candidate set: heard with enough margin and not yet on the chain.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < traffic_.size(); ++i) {
+    if (!included[i] && miner_heard[i] + options_.packing_margin <= now) {
+      candidates.push_back(i);
+    }
+  }
+  // Price-priority order with per-miner random tie breaking (paper §4.2:
+  // same-price transactions are ordered randomly by the official client).
+  std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+    const Transaction& ta = traffic_[a].tx;
+    const Transaction& tb = traffic_[b].tx;
+    if (!(ta.gas_price == tb.gas_price)) {
+      return tb.gas_price < ta.gas_price;
+    }
+    return TieHash(miner.tie_salt, ta.id) < TieHash(miner.tie_salt, tb.id);
+  });
+  // Fill the block respecting per-sender nonce chains.
+  std::unordered_map<Address, uint64_t, AddressHasher> next_nonce = chain_nonces;
+  std::vector<Transaction> packed;
+  uint64_t gas_used = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t idx : candidates) {
+      const Transaction& tx = traffic_[idx].tx;
+      if (gas_used + tx.gas_limit > options_.block_gas_limit) {
+        continue;
+      }
+      bool already = false;
+      for (const Transaction& p : packed) {
+        if (p.id == tx.id) {
+          already = true;
+          break;
+        }
+      }
+      if (already) {
+        continue;
+      }
+      auto it = next_nonce.find(tx.sender);
+      uint64_t expected = (it != next_nonce.end()) ? it->second : 0;
+      if (tx.nonce != expected) {
+        continue;
+      }
+      packed.push_back(tx);
+      next_nonce[tx.sender] = expected + 1;
+      gas_used += tx.gas_limit;
+      progress = true;
+    }
+  }
+  return packed;
+}
+
+SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
+                             const std::string& scenario_name) {
+  SimReport report;
+  report.scenario = scenario_name;
+  report.txs_sent = traffic_.size();
+  report.nodes.resize(nodes.size());
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    report.nodes[n].strategy = ExecStrategy::kBaseline;
+  }
+
+  // Sample dissemination delays.
+  std::vector<double> observer_heard(traffic_.size());
+  std::vector<std::vector<double>> miner_heard(miners_.size(),
+                                               std::vector<double>(traffic_.size()));
+  for (size_t i = 0; i < traffic_.size(); ++i) {
+    // Only modest transactions go unheard (private relays and thin gossip
+    // paths); heavyweight transactions propagate widely, which is why the
+    // paper's time-weighted heard rate exceeds the unweighted one.
+    if (traffic_[i].tx.gas_limit < 400'000 && rng_.Chance(options_.observer_unheard_rate)) {
+      observer_heard[i] = 1e18;  // effectively never heard
+    } else {
+      observer_heard[i] =
+          traffic_[i].sent_at +
+          rng_.NextLogNormal(options_.observer_delay_mu, options_.observer_delay_sigma);
+    }
+    for (size_t m = 0; m < miners_.size(); ++m) {
+      miner_heard[m][i] =
+          traffic_[i].sent_at +
+          rng_.NextLogNormal(miners_[m].delay_mu, miners_[m].delay_sigma);
+    }
+  }
+
+  // Traffic ends when the last transaction was sent; run a little longer so
+  // stragglers get packed.
+  double horizon = 0;
+  for (const TimedTx& t : traffic_) {
+    horizon = std::max(horizon, t.sent_at);
+  }
+  horizon += 4 * options_.mean_block_interval;
+
+  std::vector<bool> included(traffic_.size(), false);
+  std::unordered_map<Address, uint64_t, AddressHasher> chain_nonces;
+  double total_weight = 0;
+  for (const MinerModel& m : miners_) {
+    total_weight += m.weight;
+  }
+
+  // Chronological event loop: heard events interleaved with block events; the
+  // speculation pipeline runs whenever off-critical-path time accumulates.
+  std::vector<size_t> heard_order(traffic_.size());
+  for (size_t i = 0; i < traffic_.size(); ++i) {
+    heard_order[i] = i;
+  }
+  std::sort(heard_order.begin(), heard_order.end(),
+            [&](size_t a, size_t b) { return observer_heard[a] < observer_heard[b]; });
+
+  size_t next_heard = 0;
+  double now = 0;
+  double next_block_time = rng_.NextExponential(options_.mean_block_interval);
+  double last_pipeline = 0;
+  uint64_t block_number = 0;
+  uint64_t last_block_ts = options_.base_timestamp;
+
+  auto deliver_heard_until = [&](double t) {
+    while (next_heard < heard_order.size() && observer_heard[heard_order[next_heard]] <= t) {
+      size_t idx = heard_order[next_heard];
+      for (Node* node : nodes) {
+        node->OnHeard(traffic_[idx].tx, observer_heard[idx]);
+      }
+      ++next_heard;
+    }
+  };
+
+  while (now < horizon) {
+    // Run the off-critical-path pipeline periodically between blocks.
+    double next_pipeline = last_pipeline + options_.pipeline_period;
+    double next_event = std::min(next_block_time, next_pipeline);
+    if (next_event > horizon) {
+      break;
+    }
+    deliver_heard_until(next_event);
+    now = next_event;
+    if (next_pipeline <= next_block_time) {
+      for (Node* node : nodes) {
+        node->RunSpeculationPipeline(now);
+      }
+      last_pipeline = now;
+      continue;
+    }
+
+    // ---- Consensus: a weighted random miner wins this round ----
+    double pick = rng_.NextDouble() * total_weight;
+    size_t winner = 0;
+    for (size_t m = 0; m < miners_.size(); ++m) {
+      pick -= miners_[m].weight;
+      if (pick <= 0) {
+        winner = m;
+        break;
+      }
+    }
+    const MinerModel& miner = miners_[winner];
+    std::vector<Transaction> txs =
+        PackBlock(miner, now, miner_heard[winner], included, chain_nonces);
+    next_block_time = now + rng_.NextExponential(options_.mean_block_interval);
+    if (txs.empty()) {
+      continue;
+    }
+
+    // Temporary fork: a competing block from another miner reaches us first,
+    // gets executed, and is reorged away when the winner arrives.
+    if (miners_.size() > 1 && rng_.Chance(options_.fork_rate)) {
+      size_t rival = (winner + 1 + rng_.NextBounded(miners_.size() - 1)) % miners_.size();
+      const MinerModel& rival_miner = miners_[rival];
+      std::vector<Transaction> rival_txs =
+          PackBlock(rival_miner, now, miner_heard[rival], included, chain_nonces);
+      if (!rival_txs.empty()) {
+        Block fork_block;
+        fork_block.header.number = block_number + 1;
+        fork_block.header.timestamp =
+            std::max(options_.base_timestamp + static_cast<uint64_t>(now) +
+                         static_cast<uint64_t>(rival_miner.timestamp_skew + 3) - 3,
+                     last_block_ts + 1);
+        fork_block.header.coinbase = rival_miner.coinbase;
+        fork_block.header.gas_limit = options_.block_gas_limit;
+        fork_block.txs = std::move(rival_txs);
+        Hash first_root;
+        for (size_t n = 0; n < nodes.size(); ++n) {
+          BlockExecReport exec = nodes[n]->ExecuteBlock(fork_block, now);
+          if (n == 0) {
+            first_root = exec.state_root;
+          } else if (!(exec.state_root == first_root)) {
+            report.roots_consistent = false;
+          }
+          for (TxExecRecord& r : exec.txs) {
+            r.on_fork = true;
+            report.nodes[n].records.push_back(r);
+          }
+        }
+        ++report.fork_blocks;
+        // The losing branch stays our head while the winner's branch
+        // propagates; the orphaned transactions re-enter the pool on reorg
+        // and the speculation pipeline gets to re-process them.
+        for (Node* node : nodes) {
+          node->RollbackHead();
+        }
+        double winner_time = now + options_.fork_resolution_delay;
+        for (double t = now + options_.pipeline_period; t < winner_time;
+             t += options_.pipeline_period) {
+          deliver_heard_until(t);
+          for (Node* node : nodes) {
+            node->RunSpeculationPipeline(t);
+          }
+        }
+        deliver_heard_until(winner_time);
+        now = winner_time;
+        next_block_time = std::max(next_block_time, now + 1.0);
+      }
+    }
+
+    Block block;
+    ++block_number;
+    block.header.number = block_number;
+    uint64_t ts = options_.base_timestamp + static_cast<uint64_t>(now) +
+                  static_cast<uint64_t>(miner.timestamp_skew + 3) - 3;
+    block.header.timestamp = std::max(ts, last_block_ts + 1);
+    last_block_ts = block.header.timestamp;
+    block.header.coinbase = miner.coinbase;
+    block.header.gas_limit = options_.block_gas_limit;
+    block.txs = txs;
+
+    for (const Transaction& tx : txs) {
+      chain_nonces[tx.sender] = tx.nonce + 1;
+      for (size_t i = 0; i < traffic_.size(); ++i) {
+        if (traffic_[i].tx.id == tx.id) {
+          included[i] = true;
+          if (observer_heard[i] <= now) {
+            ++report.heard_count;
+            report.heard_delays.push_back(now - observer_heard[i]);
+          }
+          break;
+        }
+      }
+    }
+
+    // ---- Execution phase on every node ----
+    Hash first_root;
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      BlockExecReport exec = nodes[n]->ExecuteBlock(block, now);
+      if (n == 0) {
+        first_root = exec.state_root;
+      } else if (!(exec.state_root == first_root)) {
+        report.roots_consistent = false;
+      }
+      report.nodes[n].total_exec_seconds += exec.total_seconds;
+      for (TxExecRecord& r : exec.txs) {
+        report.nodes[n].records.push_back(r);
+      }
+    }
+    report.chain.push_back(std::move(block));
+    report.block_times.push_back(now);
+    ++report.blocks;
+    report.txs_packed += txs.size();
+
+    // Post-block speculation for the next block's predictions.
+    for (Node* node : nodes) {
+      node->RunSpeculationPipeline(now);
+    }
+    last_pipeline = now;
+  }
+
+  for (size_t i = 0; i < traffic_.size(); ++i) {
+    if (observer_heard[i] < 1e17) {
+      report.observer_heard.emplace_back(traffic_[i].tx.id, observer_heard[i]);
+    }
+  }
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    report.nodes[n].speculation_seconds = nodes[n]->total_speculation_seconds();
+    report.nodes[n].speculated_exec_seconds = nodes[n]->total_speculated_exec_seconds();
+    report.nodes[n].futures_speculated = nodes[n]->futures_speculated();
+    report.nodes[n].synthesis_failures = nodes[n]->synthesis_failures();
+    report.nodes[n].synthesis_stats = nodes[n]->synthesis_stats();
+    report.nodes[n].ap_stats = nodes[n]->ap_stats();
+    report.nodes[n].executed_speculations = nodes[n]->executed_speculations();
+  }
+  return report;
+}
+
+}  // namespace frn

@@ -1,0 +1,216 @@
+#include "src/easm/easm.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/common/u256.h"
+#include "src/evm/opcodes.h"
+
+namespace frn {
+
+namespace {
+
+struct Statement {
+  std::string mnemonic;   // empty for pure label lines
+  std::string operand;    // PUSH operand text
+  std::string label_def;  // label defined on this line
+  int line = 0;
+};
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string StripComment(const std::string& line) {
+  size_t semi = line.find(';');
+  size_t slashes = line.find("//");
+  size_t cut = std::min(semi == std::string::npos ? line.size() : semi,
+                        slashes == std::string::npos ? line.size() : slashes);
+  return line.substr(0, cut);
+}
+
+std::vector<Statement> Parse(const std::string& source) {
+  std::vector<Statement> out;
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = Trim(StripComment(raw));
+    if (line.empty()) {
+      continue;
+    }
+    Statement st;
+    st.line = line_no;
+    size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      st.label_def = Trim(line.substr(0, colon));
+      line = Trim(line.substr(colon + 1));
+      if (st.label_def.empty()) {
+        throw AsmError("line " + std::to_string(line_no) + ": empty label");
+      }
+    }
+    if (!line.empty()) {
+      size_t space = line.find_first_of(" \t");
+      if (space == std::string::npos) {
+        st.mnemonic = line;
+      } else {
+        st.mnemonic = line.substr(0, space);
+        st.operand = Trim(line.substr(space + 1));
+      }
+      for (auto& c : st.mnemonic) {
+        c = static_cast<char>(toupper(c));
+      }
+    }
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+// Returns the opcode byte for a plain mnemonic, or -1.
+int LookupMnemonic(const std::string& name) {
+  for (int b = 0; b < 256; ++b) {
+    const OpcodeInfo& info = GetOpcodeInfo(static_cast<uint8_t>(b));
+    if (info.defined && info.name == name) {
+      return b;
+    }
+  }
+  return -1;
+}
+
+// Minimal byte width needed to encode `v` in a PUSH (at least 1).
+int PushWidth(const U256& v) {
+  int bits = v.BitLength();
+  int bytes = (bits + 7) / 8;
+  return bytes == 0 ? 1 : bytes;
+}
+
+}  // namespace
+
+Bytes Assemble(const std::string& source) {
+  std::vector<Statement> statements = Parse(source);
+
+  // Pass 1: compute statement sizes and label offsets. Label pushes are fixed
+  // at 2 bytes (PUSH2) so sizes never depend on label values.
+  std::map<std::string, size_t> labels;
+  size_t offset = 0;
+  std::vector<size_t> sizes(statements.size(), 0);
+  for (size_t i = 0; i < statements.size(); ++i) {
+    const Statement& st = statements[i];
+    if (!st.label_def.empty()) {
+      if (labels.contains(st.label_def)) {
+        throw AsmError("line " + std::to_string(st.line) + ": duplicate label " + st.label_def);
+      }
+      labels[st.label_def] = offset;
+      offset += 1;  // implicit JUMPDEST
+      sizes[i] += 1;
+    }
+    if (st.mnemonic.empty()) {
+      continue;
+    }
+    size_t sz;
+    if (st.mnemonic == "PUSH") {
+      if (st.operand.empty()) {
+        throw AsmError("line " + std::to_string(st.line) + ": PUSH needs an operand");
+      }
+      if (st.operand[0] == '@') {
+        sz = 3;  // PUSH2 + 2 bytes
+      } else {
+        U256 v = (st.operand.rfind("0x", 0) == 0) ? U256::FromHex(st.operand)
+                                                  : U256::FromDec(st.operand);
+        sz = 1 + static_cast<size_t>(PushWidth(v));
+      }
+    } else if (st.mnemonic.rfind("PUSH", 0) == 0 && st.mnemonic.size() > 4) {
+      int n = std::stoi(st.mnemonic.substr(4));
+      if (n < 1 || n > 32) {
+        throw AsmError("line " + std::to_string(st.line) + ": bad push width");
+      }
+      sz = 1 + static_cast<size_t>(n);
+    } else {
+      if (LookupMnemonic(st.mnemonic) < 0) {
+        throw AsmError("line " + std::to_string(st.line) + ": unknown mnemonic " + st.mnemonic);
+      }
+      sz = 1;
+    }
+    sizes[i] += sz;
+    offset += sz;
+  }
+
+  // Pass 2: emit bytes.
+  Bytes code;
+  code.reserve(offset);
+  for (const Statement& st : statements) {
+    if (!st.label_def.empty()) {
+      code.push_back(static_cast<uint8_t>(Opcode::kJumpdest));
+    }
+    if (st.mnemonic.empty()) {
+      continue;
+    }
+    if (st.mnemonic == "PUSH" || (st.mnemonic.rfind("PUSH", 0) == 0 && st.mnemonic.size() > 4)) {
+      int width;
+      U256 value;
+      if (st.operand.empty()) {
+        throw AsmError("line " + std::to_string(st.line) + ": PUSH needs an operand");
+      }
+      if (st.operand[0] == '@') {
+        std::string name = st.operand.substr(1);
+        auto it = labels.find(name);
+        if (it == labels.end()) {
+          throw AsmError("line " + std::to_string(st.line) + ": unknown label " + name);
+        }
+        value = U256(static_cast<uint64_t>(it->second));
+        width = 2;
+      } else {
+        value = (st.operand.rfind("0x", 0) == 0) ? U256::FromHex(st.operand)
+                                                 : U256::FromDec(st.operand);
+        width = (st.mnemonic == "PUSH") ? PushWidth(value)
+                                        : std::stoi(st.mnemonic.substr(4));
+        if (PushWidth(value) > width) {
+          throw AsmError("line " + std::to_string(st.line) + ": operand too wide for " +
+                         st.mnemonic);
+        }
+      }
+      code.push_back(static_cast<uint8_t>(0x5f + width));
+      auto be = value.ToBigEndian();
+      for (int i = 32 - width; i < 32; ++i) {
+        code.push_back(be[static_cast<size_t>(i)]);
+      }
+    } else {
+      code.push_back(static_cast<uint8_t>(LookupMnemonic(st.mnemonic)));
+    }
+  }
+  return code;
+}
+
+std::string Disassemble(const Bytes& code) {
+  std::ostringstream out;
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    uint8_t b = code[pc];
+    const OpcodeInfo& info = GetOpcodeInfo(b);
+    out << pc << ": ";
+    if (!info.defined) {
+      out << "UNDEFINED(0x" << std::hex << static_cast<int>(b) << std::dec << ")\n";
+      continue;
+    }
+    out << info.name;
+    if (IsPush(b)) {
+      int n = PushSize(b);
+      uint8_t buf[32] = {0};
+      for (int i = 0; i < n && pc + 1 + static_cast<size_t>(i) < code.size(); ++i) {
+        buf[i] = code[pc + 1 + static_cast<size_t>(i)];
+      }
+      out << " " << U256::FromBigEndian(buf, static_cast<size_t>(n)).ToHex();
+      pc += static_cast<size_t>(n);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace frn

@@ -1,0 +1,36 @@
+// A small EVM assembler/disassembler so that the repository's contracts
+// (PriceFeed, ERC-20, AMM, ...) can be written as readable mnemonic listings
+// instead of raw hex. Replaces the Solidity compiler in the paper's pipeline.
+//
+// Syntax, one statement per line:
+//   label:              defines `label` at the current position (emits JUMPDEST)
+//   PUSH 123            auto-sized push of a decimal constant
+//   PUSH 0x1f           auto-sized push of a hex constant
+//   PUSH @label         2-byte push of a label address
+//   ADD / MLOAD / ...   any plain mnemonic
+//   ; comment           (also //)
+#ifndef SRC_EASM_EASM_H_
+#define SRC_EASM_EASM_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace frn {
+
+class AsmError : public std::runtime_error {
+ public:
+  explicit AsmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Assembles a mnemonic listing into bytecode; throws AsmError on bad input.
+Bytes Assemble(const std::string& source);
+
+// Renders bytecode as one mnemonic per line (inverse view, for debugging and
+// the Figure 7 trace listing).
+std::string Disassemble(const Bytes& code);
+
+}  // namespace frn
+
+#endif  // SRC_EASM_EASM_H_

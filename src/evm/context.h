@@ -1,0 +1,84 @@
+// Transaction and execution-context types. A transaction's execution context
+// (paper §4.2) is the block header it lands in plus the world state produced
+// by all preceding transactions; BlockContext carries the header part.
+#ifndef SRC_EVM_CONTEXT_H_
+#define SRC_EVM_CONTEXT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace frn {
+
+struct BlockContext {
+  uint64_t number = 0;
+  uint64_t timestamp = 0;
+  Address coinbase;
+  uint64_t gas_limit = 15'000'000;
+  U256 difficulty = U256(2'500'000'000'000'000ULL);
+  uint64_t chain_id = 1;
+  // Seed for the deterministic BLOCKHASH(n) function of this chain.
+  uint64_t chain_seed = 0x466f726572756eULL;
+
+  bool operator==(const BlockContext& o) const {
+    return number == o.number && timestamp == o.timestamp && coinbase == o.coinbase &&
+           gas_limit == o.gas_limit && difficulty == o.difficulty && chain_id == o.chain_id &&
+           chain_seed == o.chain_seed;
+  }
+};
+
+struct Transaction {
+  uint64_t id = 0;  // simulation-unique identifier (stands in for the tx hash)
+  Address sender;
+  Address to;
+  U256 value;
+  Bytes data;
+  uint64_t gas_limit = 1'000'000;
+  U256 gas_price = U256(1'000'000'000);
+  uint64_t nonce = 0;
+
+  // Intrinsic gas: base cost plus calldata byte costs (Yellow Paper g_txdata*).
+  uint64_t IntrinsicGas() const;
+};
+
+struct LogEntry {
+  Address address;
+  std::vector<U256> topics;
+  Bytes data;
+
+  bool operator==(const LogEntry& o) const {
+    return address == o.address && topics == o.topics && data == o.data;
+  }
+};
+
+enum class ExecStatus : uint8_t {
+  kSuccess = 0,
+  kReverted,            // explicit REVERT at the top frame
+  kOutOfGas,
+  kInvalidInstruction,  // bad jump, stack under/overflow, undefined opcode
+  kBadNonce,
+  kInsufficientBalance,
+};
+
+const char* ExecStatusName(ExecStatus status);
+
+struct ExecResult {
+  ExecStatus status = ExecStatus::kSuccess;
+  uint64_t gas_used = 0;
+  Bytes return_data;
+  std::vector<LogEntry> logs;
+
+  bool ok() const { return status == ExecStatus::kSuccess; }
+  // Equality over the externally observable outcome (used by the AP-vs-EVM
+  // equivalence tests; state equality is checked via the Merkle root).
+  bool operator==(const ExecResult& o) const {
+    return status == o.status && gas_used == o.gas_used && return_data == o.return_data &&
+           logs == o.logs;
+  }
+};
+
+}  // namespace frn
+
+#endif  // SRC_EVM_CONTEXT_H_

@@ -1,0 +1,76 @@
+// The EVM interpreter: a faithful stack-machine executor for the opcode subset
+// in opcodes.h, with gas accounting, nested message calls, logs, revert
+// semantics and an optional tracing hook. This is the baseline engine whose
+// critical-path latency Forerunner's accelerated programs beat.
+#ifndef SRC_EVM_EVM_H_
+#define SRC_EVM_EVM_H_
+
+#include <vector>
+
+#include "src/evm/context.h"
+#include "src/evm/tracer.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+
+class Evm {
+ public:
+  Evm(StateDb* state, const BlockContext& block) : state_(state), block_(block) {}
+
+  // Executes a full transaction: nonce/balance checks, gas purchase, the
+  // top-level message call, gas refund and coinbase fee payment. State
+  // changes of failed calls are reverted; fee transfers always apply (except
+  // for kBadNonce / kInsufficientBalance, which are inclusion errors that
+  // consume nothing, mirroring invalid-transaction handling).
+  ExecResult ExecuteTransaction(const Transaction& tx, Tracer* tracer = nullptr);
+
+  StateDb* state() { return state_; }
+  const BlockContext& block() const { return block_; }
+
+  // Deterministic BLOCKHASH function shared by interpreter and S-EVM.
+  static Hash BlockHash(uint64_t chain_seed, uint64_t number);
+
+  // The address a contract created by (creator, nonce) deploys at:
+  // keccak(rlp([creator, nonce]))[12:].
+  static Address CreateAddress(const Address& creator, uint64_t nonce);
+
+ private:
+  struct CallParams {
+    Address caller;
+    Address to;         // storage/self context (differs from code for DELEGATECALL)
+    Address code_addr;  // whose code runs
+    U256 value;
+    // DELEGATECALL inherits the value without moving balances.
+    bool transfer_value = true;
+    const Bytes* data = nullptr;
+    uint64_t gas = 0;
+    int depth = 0;
+    bool is_static = false;
+    Address origin;
+    U256 gas_price;
+  };
+
+  struct CallOutcome {
+    bool success = false;
+    bool out_of_gas = false;
+    uint64_t gas_left = 0;
+    Bytes output;
+  };
+
+  CallOutcome Call(const CallParams& params, std::vector<LogEntry>* logs, Tracer* tracer);
+  CallOutcome Interpret(const CallParams& params, const Bytes& code,
+                        std::vector<LogEntry>* logs, Tracer* tracer);
+  // Runs `init` as creation code for `new_addr` and installs the returned
+  // runtime code on success (charging the per-byte deposit cost).
+  CallOutcome Create(const Address& creator, const Address& new_addr, const U256& value,
+                     const Bytes& init, uint64_t gas, int depth, bool is_static,
+                     const Address& origin, const U256& gas_price,
+                     std::vector<LogEntry>* logs, Tracer* tracer);
+
+  StateDb* state_;
+  BlockContext block_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_EVM_EVM_H_

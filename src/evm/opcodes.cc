@@ -1,0 +1,139 @@
+#include "src/evm/opcodes.h"
+
+#include <array>
+
+namespace frn {
+
+namespace {
+
+// Gas tiers loosely following the Istanbul schedule; see opcodes.h for why
+// value-dependent costs (EXP by exponent width, SSTORE by prior value) are
+// flattened to constants.
+constexpr uint32_t kZero = 0;
+constexpr uint32_t kBase = 2;
+constexpr uint32_t kVeryLow = 3;
+constexpr uint32_t kLow = 5;
+constexpr uint32_t kMid = 8;
+constexpr uint32_t kHigh = 10;
+constexpr uint32_t kSha3 = 30;
+constexpr uint32_t kBalanceGas = 700;
+constexpr uint32_t kSloadGas = 800;
+constexpr uint32_t kSstoreGas = 20000;
+constexpr uint32_t kCallGas = 700;
+constexpr uint32_t kLogBase = 375;
+constexpr uint32_t kExpGas = 60;
+constexpr uint32_t kBlockhashGas = 20;
+
+std::array<OpcodeInfo, 256> BuildTable() {
+  std::array<OpcodeInfo, 256> t{};
+  auto def = [&](Opcode op, std::string_view name, int8_t pops, int8_t pushes, uint32_t gas) {
+    t[static_cast<uint8_t>(op)] = OpcodeInfo{name, pops, pushes, gas, true};
+  };
+  def(Opcode::kStop, "STOP", 0, 0, kZero);
+  def(Opcode::kAdd, "ADD", 2, 1, kVeryLow);
+  def(Opcode::kMul, "MUL", 2, 1, kLow);
+  def(Opcode::kSub, "SUB", 2, 1, kVeryLow);
+  def(Opcode::kDiv, "DIV", 2, 1, kLow);
+  def(Opcode::kSdiv, "SDIV", 2, 1, kLow);
+  def(Opcode::kMod, "MOD", 2, 1, kLow);
+  def(Opcode::kSmod, "SMOD", 2, 1, kLow);
+  def(Opcode::kAddmod, "ADDMOD", 3, 1, kMid);
+  def(Opcode::kMulmod, "MULMOD", 3, 1, kMid);
+  def(Opcode::kExp, "EXP", 2, 1, kExpGas);
+  def(Opcode::kSignextend, "SIGNEXTEND", 2, 1, kLow);
+  def(Opcode::kLt, "LT", 2, 1, kVeryLow);
+  def(Opcode::kGt, "GT", 2, 1, kVeryLow);
+  def(Opcode::kSlt, "SLT", 2, 1, kVeryLow);
+  def(Opcode::kSgt, "SGT", 2, 1, kVeryLow);
+  def(Opcode::kEq, "EQ", 2, 1, kVeryLow);
+  def(Opcode::kIszero, "ISZERO", 1, 1, kVeryLow);
+  def(Opcode::kAnd, "AND", 2, 1, kVeryLow);
+  def(Opcode::kOr, "OR", 2, 1, kVeryLow);
+  def(Opcode::kXor, "XOR", 2, 1, kVeryLow);
+  def(Opcode::kNot, "NOT", 1, 1, kVeryLow);
+  def(Opcode::kByte, "BYTE", 2, 1, kVeryLow);
+  def(Opcode::kShl, "SHL", 2, 1, kVeryLow);
+  def(Opcode::kShr, "SHR", 2, 1, kVeryLow);
+  def(Opcode::kSar, "SAR", 2, 1, kVeryLow);
+  def(Opcode::kSha3, "SHA3", 2, 1, kSha3);
+  def(Opcode::kAddress, "ADDRESS", 0, 1, kBase);
+  def(Opcode::kBalance, "BALANCE", 1, 1, kBalanceGas);
+  def(Opcode::kOrigin, "ORIGIN", 0, 1, kBase);
+  def(Opcode::kCaller, "CALLER", 0, 1, kBase);
+  def(Opcode::kCallvalue, "CALLVALUE", 0, 1, kBase);
+  def(Opcode::kCalldataload, "CALLDATALOAD", 1, 1, kVeryLow);
+  def(Opcode::kCalldatasize, "CALLDATASIZE", 0, 1, kBase);
+  def(Opcode::kCalldatacopy, "CALLDATACOPY", 3, 0, kVeryLow);
+  def(Opcode::kCodesize, "CODESIZE", 0, 1, kBase);
+  def(Opcode::kCodecopy, "CODECOPY", 3, 0, kVeryLow);
+  def(Opcode::kGasprice, "GASPRICE", 0, 1, kBase);
+  def(Opcode::kReturndatasize, "RETURNDATASIZE", 0, 1, kBase);
+  def(Opcode::kReturndatacopy, "RETURNDATACOPY", 3, 0, kVeryLow);
+  def(Opcode::kBlockhash, "BLOCKHASH", 1, 1, kBlockhashGas);
+  def(Opcode::kCoinbase, "COINBASE", 0, 1, kBase);
+  def(Opcode::kTimestamp, "TIMESTAMP", 0, 1, kBase);
+  def(Opcode::kNumber, "NUMBER", 0, 1, kBase);
+  def(Opcode::kDifficulty, "DIFFICULTY", 0, 1, kBase);
+  def(Opcode::kGaslimit, "GASLIMIT", 0, 1, kBase);
+  def(Opcode::kChainid, "CHAINID", 0, 1, kBase);
+  def(Opcode::kSelfbalance, "SELFBALANCE", 0, 1, kLow);
+  def(Opcode::kPop, "POP", 1, 0, kBase);
+  def(Opcode::kMload, "MLOAD", 1, 1, kVeryLow);
+  def(Opcode::kMstore, "MSTORE", 2, 0, kVeryLow);
+  def(Opcode::kMstore8, "MSTORE8", 2, 0, kVeryLow);
+  def(Opcode::kSload, "SLOAD", 1, 1, kSloadGas);
+  def(Opcode::kSstore, "SSTORE", 2, 0, kSstoreGas);
+  def(Opcode::kJump, "JUMP", 1, 0, kMid);
+  def(Opcode::kJumpi, "JUMPI", 2, 0, kHigh);
+  def(Opcode::kPc, "PC", 0, 1, kBase);
+  def(Opcode::kMsize, "MSIZE", 0, 1, kBase);
+  def(Opcode::kGas, "GAS", 0, 1, kBase);
+  def(Opcode::kJumpdest, "JUMPDEST", 0, 0, 1);
+  static constexpr std::string_view kPushNames[32] = {
+      "PUSH1",  "PUSH2",  "PUSH3",  "PUSH4",  "PUSH5",  "PUSH6",  "PUSH7",  "PUSH8",
+      "PUSH9",  "PUSH10", "PUSH11", "PUSH12", "PUSH13", "PUSH14", "PUSH15", "PUSH16",
+      "PUSH17", "PUSH18", "PUSH19", "PUSH20", "PUSH21", "PUSH22", "PUSH23", "PUSH24",
+      "PUSH25", "PUSH26", "PUSH27", "PUSH28", "PUSH29", "PUSH30", "PUSH31", "PUSH32"};
+  for (int i = 0; i < 32; ++i) {
+    t[0x60 + i] = OpcodeInfo{kPushNames[i], 0, 1, kVeryLow, true};
+  }
+  static constexpr std::string_view kDupNames[16] = {
+      "DUP1", "DUP2",  "DUP3",  "DUP4",  "DUP5",  "DUP6",  "DUP7",  "DUP8",
+      "DUP9", "DUP10", "DUP11", "DUP12", "DUP13", "DUP14", "DUP15", "DUP16"};
+  static constexpr std::string_view kSwapNames[16] = {
+      "SWAP1", "SWAP2",  "SWAP3",  "SWAP4",  "SWAP5",  "SWAP6",  "SWAP7",  "SWAP8",
+      "SWAP9", "SWAP10", "SWAP11", "SWAP12", "SWAP13", "SWAP14", "SWAP15", "SWAP16"};
+  for (int i = 0; i < 16; ++i) {
+    // DUPn peeks n items and pushes one more; SWAPn touches n+1 items in place.
+    t[0x80 + i] = OpcodeInfo{kDupNames[i], static_cast<int8_t>(i + 1),
+                             static_cast<int8_t>(i + 2), kVeryLow, true};
+    t[0x90 + i] = OpcodeInfo{kSwapNames[i], static_cast<int8_t>(i + 2),
+                             static_cast<int8_t>(i + 2), kVeryLow, true};
+  }
+  static constexpr std::string_view kLogNames[5] = {"LOG0", "LOG1", "LOG2", "LOG3", "LOG4"};
+  for (int i = 0; i <= 4; ++i) {
+    t[0xa0 + i] = OpcodeInfo{kLogNames[i], static_cast<int8_t>(2 + i), 0, kLogBase, true};
+  }
+  def(Opcode::kExtcodesize, "EXTCODESIZE", 1, 1, kBalanceGas);
+  def(Opcode::kExtcodecopy, "EXTCODECOPY", 4, 0, kBalanceGas);
+  def(Opcode::kExtcodehash, "EXTCODEHASH", 1, 1, kBalanceGas);
+  def(Opcode::kCreate, "CREATE", 3, 1, 32000);
+  def(Opcode::kCall, "CALL", 7, 1, kCallGas);
+  def(Opcode::kDelegatecall, "DELEGATECALL", 6, 1, kCallGas);
+  def(Opcode::kStaticcall, "STATICCALL", 6, 1, kCallGas);
+  def(Opcode::kReturn, "RETURN", 2, 0, kZero);
+  def(Opcode::kRevert, "REVERT", 2, 0, kZero);
+  def(Opcode::kInvalid, "INVALID", 0, 0, kZero);
+  return t;
+}
+
+const std::array<OpcodeInfo, 256>& Table() {
+  static const std::array<OpcodeInfo, 256> kTable = BuildTable();
+  return kTable;
+}
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(uint8_t opcode) { return Table()[opcode]; }
+
+}  // namespace frn

@@ -1,0 +1,142 @@
+// EVM opcode set and static metadata (stack arity, gas tier). The subset
+// implemented covers the instruction categories Forerunner's S-EVM supports
+// (paper §4.3): arithmetic, comparison, bitwise logic, SHA3, environmental
+// information, block information, storage, logging and system, plus the
+// stack/memory/control instructions that S-EVM later eliminates.
+#ifndef SRC_EVM_OPCODES_H_
+#define SRC_EVM_OPCODES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace frn {
+
+enum class Opcode : uint8_t {
+  kStop = 0x00,
+  kAdd = 0x01,
+  kMul = 0x02,
+  kSub = 0x03,
+  kDiv = 0x04,
+  kSdiv = 0x05,
+  kMod = 0x06,
+  kSmod = 0x07,
+  kAddmod = 0x08,
+  kMulmod = 0x09,
+  kExp = 0x0a,
+  kSignextend = 0x0b,
+  kLt = 0x10,
+  kGt = 0x11,
+  kSlt = 0x12,
+  kSgt = 0x13,
+  kEq = 0x14,
+  kIszero = 0x15,
+  kAnd = 0x16,
+  kOr = 0x17,
+  kXor = 0x18,
+  kNot = 0x19,
+  kByte = 0x1a,
+  kShl = 0x1b,
+  kShr = 0x1c,
+  kSar = 0x1d,
+  kSha3 = 0x20,
+  kAddress = 0x30,
+  kBalance = 0x31,
+  kOrigin = 0x32,
+  kCaller = 0x33,
+  kCallvalue = 0x34,
+  kCalldataload = 0x35,
+  kCalldatasize = 0x36,
+  kCalldatacopy = 0x37,
+  kCodesize = 0x38,
+  kCodecopy = 0x39,
+  kGasprice = 0x3a,
+  kExtcodesize = 0x3b,
+  kExtcodecopy = 0x3c,
+  kReturndatasize = 0x3d,
+  kReturndatacopy = 0x3e,
+  kExtcodehash = 0x3f,
+  kBlockhash = 0x40,
+  kCoinbase = 0x41,
+  kTimestamp = 0x42,
+  kNumber = 0x43,
+  kDifficulty = 0x44,
+  kGaslimit = 0x45,
+  kChainid = 0x46,
+  kSelfbalance = 0x47,
+  kPop = 0x50,
+  kMload = 0x51,
+  kMstore = 0x52,
+  kMstore8 = 0x53,
+  kSload = 0x54,
+  kSstore = 0x55,
+  kJump = 0x56,
+  kJumpi = 0x57,
+  kPc = 0x58,
+  kMsize = 0x59,
+  kGas = 0x5a,
+  kJumpdest = 0x5b,
+  kPush1 = 0x60,
+  // ... PUSH2..PUSH32 are 0x61..0x7f
+  kPush32 = 0x7f,
+  kDup1 = 0x80,
+  kDup16 = 0x8f,
+  kSwap1 = 0x90,
+  kSwap16 = 0x9f,
+  kLog0 = 0xa0,
+  kLog1 = 0xa1,
+  kLog2 = 0xa2,
+  kLog3 = 0xa3,
+  kLog4 = 0xa4,
+  kCreate = 0xf0,
+  kCall = 0xf1,
+  kReturn = 0xf3,
+  kDelegatecall = 0xf4,
+  kStaticcall = 0xfa,
+  kRevert = 0xfd,
+  kInvalid = 0xfe,
+};
+
+struct OpcodeInfo {
+  std::string_view name;
+  int8_t pops = 0;          // stack items consumed
+  int8_t pushes = 0;        // stack items produced
+  uint32_t base_gas = 0;    // static gas component
+  bool defined = false;
+};
+
+// Static metadata for an opcode byte; undefined bytes have defined == false.
+const OpcodeInfo& GetOpcodeInfo(uint8_t opcode);
+inline const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  return GetOpcodeInfo(static_cast<uint8_t>(op));
+}
+inline std::string_view OpcodeName(Opcode op) { return GetOpcodeInfo(op).name; }
+
+inline bool IsPush(uint8_t op) { return op >= 0x60 && op <= 0x7f; }
+inline int PushSize(uint8_t op) { return op - 0x5f; }
+inline bool IsDup(uint8_t op) { return op >= 0x80 && op <= 0x8f; }
+inline int DupIndex(uint8_t op) { return op - 0x7f; }  // DUP1 -> 1
+inline bool IsSwap(uint8_t op) { return op >= 0x90 && op <= 0x9f; }
+inline int SwapIndex(uint8_t op) { return op - 0x8f; }  // SWAP1 -> 1
+inline bool IsLog(uint8_t op) { return op >= 0xa0 && op <= 0xa4; }
+inline int LogTopics(uint8_t op) { return op - 0xa0; }
+
+// Gas schedule constants. The schedule is intentionally a *deterministic*
+// function of the executed instruction sequence and the (data-guarded) memory
+// sizes, so that under CD-Equiv the total gas of a transaction is a constant
+// of the trace (see DESIGN.md §4.3 note on gas guards).
+struct GasSchedule {
+  static constexpr uint64_t kTxBase = 21000;
+  static constexpr uint64_t kTxDataZeroByte = 4;
+  static constexpr uint64_t kTxDataNonZeroByte = 16;
+  static constexpr uint64_t kSha3Word = 6;
+  static constexpr uint64_t kCopyWord = 3;
+  static constexpr uint64_t kLogByte = 8;
+  static constexpr uint64_t kLogTopic = 375;
+  static constexpr uint64_t kMemoryWord = 3;
+  static constexpr uint64_t kQuadCoeffDiv = 512;
+  static constexpr uint64_t kCallStipendDepth = 64;  // max call depth
+};
+
+}  // namespace frn
+
+#endif  // SRC_EVM_OPCODES_H_

@@ -1,0 +1,49 @@
+// Execution tracing interface. The instrumented EVM (paper Fig. 6: "traced
+// pre-execution") reports every executed instruction with its popped inputs,
+// pushed outputs and any memory payload, which is exactly the information the
+// S-EVM translator needs to rebuild the computation in register form.
+#ifndef SRC_EVM_TRACER_H_
+#define SRC_EVM_TRACER_H_
+
+#include <vector>
+
+#include "src/evm/context.h"
+#include "src/evm/opcodes.h"
+
+namespace frn {
+
+// Distinguishes the two halves of a call-like instruction: the enter record
+// carries the popped arguments (and the input payload) before the callee runs;
+// the exit record carries the pushed success flag after it returns.
+enum class TracePhase : uint8_t { kExec = 0, kCallEnter, kCallExit };
+
+struct TraceStep {
+  Opcode op = Opcode::kStop;
+  TracePhase phase = TracePhase::kExec;
+  uint32_t pc = 0;
+  uint16_t depth = 0;          // call depth, 0 = top frame
+  Address code_address;        // the contract whose code is executing
+  std::vector<U256> inputs;    // popped operands, inputs[0] was top-of-stack
+  std::vector<U256> outputs;   // pushed results
+  Bytes aux;                   // SHA3 preimage, LOG/RETURN data, copy payloads
+};
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void OnStep(const TraceStep& step) = 0;
+};
+
+// Simple tracer that appends every step to a vector (tests, Figure 7 demo).
+class RecordingTracer : public Tracer {
+ public:
+  void OnStep(const TraceStep& step) override { steps_.push_back(step); }
+  const std::vector<TraceStep>& steps() const { return steps_; }
+
+ private:
+  std::vector<TraceStep> steps_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_EVM_TRACER_H_

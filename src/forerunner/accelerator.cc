@@ -1,0 +1,114 @@
+#include "src/forerunner/accelerator.h"
+
+#include "src/evm/evm.h"
+
+namespace frn {
+
+const char* StrategyName(ExecStrategy strategy) {
+  switch (strategy) {
+    case ExecStrategy::kBaseline:
+      return "Baseline";
+    case ExecStrategy::kPerfectMatch:
+      return "Perfect matching";
+    case ExecStrategy::kPerfectMulti:
+      return "Perfect matching + multi-future prediction";
+    case ExecStrategy::kForerunner:
+      return "Forerunner";
+  }
+  return "?";
+}
+
+AccelOutcome Accelerator::RunEvm(StateDb* state, const BlockContext& block,
+                                 const Transaction& tx) {
+  AccelOutcome out;
+  Evm evm(state, block);
+  out.result = evm.ExecuteTransaction(tx);
+  return out;
+}
+
+bool Accelerator::TryCommitRecord(StateDb* state, const BlockContext& block,
+                                  const Transaction& tx, const FutureRecord& record,
+                                  ExecResult* out) {
+  // Perfect matching: every value observed during speculation must re-read
+  // identically in the actual context.
+  for (const ObservedRead& read : record.reads) {
+    if (!(EvalRead(read.op, read.args, state, block) == read.value)) {
+      return false;
+    }
+  }
+  // Commit the precomputed effects.
+  if (record.result.ok()) {
+    for (const auto& t : record.transfers) {
+      if (!state->SubBalance(t.from, t.amount)) {
+        return false;  // cannot happen when the sender-balance read matched
+      }
+      state->AddBalance(t.to, t.amount);
+    }
+    for (const auto& [addr, key, value] : record.storage_writes) {
+      state->SetStorage(addr, key, value);
+    }
+  }
+  *out = record.result;
+  return true;
+}
+
+AccelOutcome Accelerator::Execute(StateDb* state, const BlockContext& block,
+                                  const Transaction& tx, const TxSpeculation* spec,
+                                  ExecStrategy strategy) {
+  if (strategy == ExecStrategy::kBaseline || spec == nullptr) {
+    return RunEvm(state, block, tx);
+  }
+  // Wrapper validity checks shared by all accelerated paths. Failures are
+  // rare inclusion errors; the fallback reproduces them exactly.
+  if (state->GetNonce(tx.sender) != tx.nonce ||
+      state->GetBalance(tx.sender) < U256(tx.gas_limit) * tx.gas_price + tx.value) {
+    return RunEvm(state, block, tx);
+  }
+
+  auto bookkeeping = [&](uint64_t gas_used) {
+    state->SetNonce(tx.sender, tx.nonce + 1);
+    state->SubBalance(tx.sender, U256(gas_used) * tx.gas_price);
+    state->AddBalance(block.coinbase, U256(gas_used) * tx.gas_price);
+  };
+
+  if (strategy == ExecStrategy::kPerfectMatch || strategy == ExecStrategy::kPerfectMulti) {
+    size_t candidates =
+        (strategy == ExecStrategy::kPerfectMatch) ? 1 : spec->records.size();
+    // Newest record first: the latest speculation ran against the freshest
+    // head and is the most likely to match.
+    for (size_t k = 0; k < candidates && k < spec->records.size(); ++k) {
+      size_t i = spec->records.size() - 1 - k;
+      AccelOutcome out;
+      // Snapshot so a half-committed record (impossible in practice, but kept
+      // defensive) can be rolled back.
+      int snapshot = state->Snapshot();
+      if (TryCommitRecord(state, block, tx, spec->records[i], &out.result)) {
+        bookkeeping(out.result.gas_used);
+        out.accelerated = true;
+        out.perfect = true;  // by definition: the whole observed context matched
+        return out;
+      }
+      state->RevertToSnapshot(snapshot);
+    }
+    return RunEvm(state, block, tx);
+  }
+
+  // Forerunner: constraint checking + fast path, EVM on violation.
+  if (!spec->has_ap) {
+    return RunEvm(state, block, tx);
+  }
+  ApRunResult run = spec->ap.Execute(state, block);
+  if (!run.satisfied) {
+    return RunEvm(state, block, tx);  // rollback-free: nothing to undo
+  }
+  AccelOutcome out;
+  out.result = std::move(run.result);
+  out.accelerated = true;
+  out.perfect = run.perfect;
+  out.instrs_executed = run.instrs_executed;
+  out.instrs_skipped = run.instrs_skipped;
+  bookkeeping(out.result.gas_used);
+  return out;
+}
+
+}  // namespace frn

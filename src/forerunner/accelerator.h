@@ -1,0 +1,48 @@
+// The transaction execution accelerator (paper Fig. 3, on the critical path).
+// Given a transaction and its speculation state, executes it as fast as the
+// constraints allow: AP fast path when a constraint set is satisfied,
+// precomputed-result commit for the perfect-match strategies, and the plain
+// EVM as the always-correct fallback.
+#ifndef SRC_FORERUNNER_ACCELERATOR_H_
+#define SRC_FORERUNNER_ACCELERATOR_H_
+
+#include "src/forerunner/speculator.h"
+
+namespace frn {
+
+enum class ExecStrategy {
+  kBaseline,      // plain EVM, no speculation
+  kPerfectMatch,  // traditional speculation, first future only
+  kPerfectMulti,  // traditional speculation over all futures
+  kForerunner,    // constraint-based APs with memoization
+};
+
+const char* StrategyName(ExecStrategy strategy);
+
+struct AccelOutcome {
+  ExecResult result;
+  bool accelerated = false;  // constraint set satisfied / record matched
+  bool perfect = false;      // prediction outcome classification (Table 3)
+  size_t instrs_executed = 0;
+  size_t instrs_skipped = 0;
+};
+
+class Accelerator {
+ public:
+  // Executes `tx` on `state` under `block`. `spec` may be null (unheard or
+  // unspeculated transaction => plain EVM).
+  static AccelOutcome Execute(StateDb* state, const BlockContext& block,
+                              const Transaction& tx, const TxSpeculation* spec,
+                              ExecStrategy strategy);
+
+ private:
+  static AccelOutcome RunEvm(StateDb* state, const BlockContext& block,
+                             const Transaction& tx);
+  static bool TryCommitRecord(StateDb* state, const BlockContext& block,
+                              const Transaction& tx, const FutureRecord& record,
+                              ExecResult* out);
+};
+
+}  // namespace frn
+
+#endif  // SRC_FORERUNNER_ACCELERATOR_H_

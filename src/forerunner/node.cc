@@ -1,0 +1,175 @@
+#include "src/forerunner/node.h"
+
+#include <algorithm>
+
+namespace frn {
+
+Node::Node(const NodeOptions& options, const std::function<void(StateDb*)>& genesis)
+    : options_(options),
+      store_(options.store),
+      trie_(&store_),
+      rng_(options.rng_seed),
+      predictor_(options.predictor),
+      speculator_(&trie_, options.speculator),
+      prefetcher_(&trie_, &shared_cache_) {
+  StateDb genesis_state(&trie_, Mpt::EmptyRoot());
+  genesis(&genesis_state);
+  head_root_ = genesis_state.Commit();
+  head_.number = 0;
+  state_ = std::make_unique<StateDb>(&trie_, head_root_, &shared_cache_);
+  shared_cache_.Reset(head_root_);
+}
+
+void Node::OnHeard(const Transaction& tx, double sim_time) {
+  if (heard_at_.contains(tx.id)) {
+    return;
+  }
+  heard_at_.emplace(tx.id, sim_time);
+  pool_.push_back(PendingTx{tx, sim_time});
+}
+
+void Node::RunSpeculationPipeline(double sim_time) {
+  if (options_.strategy == ExecStrategy::kBaseline) {
+    return;
+  }
+  std::vector<TxPrediction> predictions = predictor_.PredictNextBlock(
+      pool_, head_, chain_nonces_, head_.gas_limit, &rng_);
+  size_t futures_cap =
+      (options_.strategy == ExecStrategy::kPerfectMatch) ? 1 : SIZE_MAX;
+  for (const TxPrediction& prediction : predictions) {
+    // Re-speculate only when the head moved since the last speculation of
+    // this transaction.
+    auto done = speculated_at_root_.find(prediction.tx.id);
+    if (done != speculated_at_root_.end() && done->second == head_root_) {
+      continue;
+    }
+    speculated_at_root_[prediction.tx.id] = head_root_;
+    TxSpeculation& spec = speculations_[prediction.tx.id];
+    double prev_cost = spec.synthesis_seconds;
+    double prev_exec = spec.plain_exec_seconds;
+    size_t futures = std::min(prediction.futures.size(), futures_cap);
+    for (size_t i = 0; i < futures; ++i) {
+      bool ok = speculator_.SpeculateFuture(head_root_, prediction.tx,
+                                            prediction.futures[i], &spec);
+      ++futures_speculated_;
+      if (!ok) {
+        ++synthesis_failures_;
+      } else {
+        synthesis_stats_.push_back(spec.last_stats);
+      }
+    }
+    if (spec.has_ap) {
+      ap_stats_.push_back(spec.ap.stats());
+    }
+    // Charge this round's wall time to simulated availability. An AP merged
+    // in an earlier round stays usable, so availability never regresses.
+    double round_cost = spec.synthesis_seconds - prev_cost;
+    double candidate = sim_time + round_cost * options_.speculation_time_scale;
+    spec.available_at =
+        (prev_cost > 0) ? std::min(spec.available_at, candidate) : candidate;
+    total_speculation_seconds_ += spec.synthesis_seconds - prev_cost;
+    total_speculated_exec_seconds_ += spec.plain_exec_seconds - prev_exec;
+    // Prefetch the union read set for the current head.
+    if (options_.enable_prefetch) {
+      prefetcher_.Prefetch(head_root_, spec.read_set);
+    }
+  }
+}
+
+BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
+  // Remember the pre-block state for a potential single-depth reorg.
+  has_parent_ = true;
+  parent_root_ = head_root_;
+  parent_header_ = head_;
+  parent_chain_nonces_ = chain_nonces_;
+  last_block_txs_ = block.txs;
+
+  BlockExecReport report;
+  report.txs.reserve(block.txs.size());
+  Stopwatch block_watch;
+  for (const Transaction& tx : block.txs) {
+    TxExecRecord record;
+    record.tx_id = tx.id;
+    record.heard = heard_at_.contains(tx.id);
+
+    const TxSpeculation* spec = nullptr;
+    if (options_.strategy != ExecStrategy::kBaseline) {
+      auto it = speculations_.find(tx.id);
+      if (it != speculations_.end() && it->second.available_at <= sim_time) {
+        spec = &it->second;
+      }
+    }
+    record.speculated = spec != nullptr;
+
+    Stopwatch tx_watch;
+    AccelOutcome outcome =
+        Accelerator::Execute(state_.get(), block.header, tx, spec, options_.strategy);
+    record.seconds = tx_watch.ElapsedSeconds();
+    record.accelerated = outcome.accelerated;
+    record.perfect = outcome.perfect;
+    record.gas_used = outcome.result.gas_used;
+    record.status = outcome.result.status;
+    record.instrs_executed = outcome.instrs_executed;
+    record.instrs_skipped = outcome.instrs_skipped;
+    report.txs.push_back(record);
+
+    if (record.status != ExecStatus::kBadNonce &&
+        record.status != ExecStatus::kInsufficientBalance) {
+      chain_nonces_[tx.sender] = tx.nonce + 1;
+    }
+  }
+  report.state_root = state_->Commit();
+  report.total_seconds = block_watch.ElapsedSeconds();
+
+  // Chain bookkeeping (off the measured path).
+  head_ = block.header;
+  head_root_ = report.state_root;
+  shared_cache_.Reset(head_root_);
+  state_ = std::make_unique<StateDb>(&trie_, head_root_, &shared_cache_);
+  // Drop executed transactions from the pool and their speculation state,
+  // keeping a summary for the §5.5 statistics.
+  for (const Transaction& tx : block.txs) {
+    pool_.erase(std::remove_if(pool_.begin(), pool_.end(),
+                               [&](const PendingTx& p) { return p.tx.id == tx.id; }),
+                pool_.end());
+    auto it = speculations_.find(tx.id);
+    if (it != speculations_.end()) {
+      SpecSummary summary;
+      summary.tx_id = tx.id;
+      summary.futures = it->second.futures;
+      if (it->second.has_ap) {
+        const ApStats& stats = it->second.ap.stats();
+        summary.paths = stats.paths;
+        summary.shortcut_nodes = stats.shortcut_nodes;
+        summary.memo_entries = stats.memo_entries;
+        summary.instr_nodes = stats.instr_nodes;
+      }
+      executed_speculations_.push_back(summary);
+      speculations_.erase(it);
+    }
+    speculated_at_root_.erase(tx.id);
+  }
+  return report;
+}
+
+void Node::RollbackHead() {
+  if (!has_parent_) {
+    return;
+  }
+  head_root_ = parent_root_;
+  head_ = parent_header_;
+  chain_nonces_ = parent_chain_nonces_;
+  shared_cache_.Reset(head_root_);
+  state_ = std::make_unique<StateDb>(&trie_, head_root_, &shared_cache_);
+  // Orphaned transactions return to the pending pool (if we ever heard them)
+  // and will be re-speculated against the restored head.
+  for (const Transaction& tx : last_block_txs_) {
+    auto it = heard_at_.find(tx.id);
+    if (it != heard_at_.end()) {
+      pool_.push_back(PendingTx{tx, it->second});
+    }
+  }
+  has_parent_ = false;  // only single-depth reorgs are supported
+}
+
+}  // namespace frn

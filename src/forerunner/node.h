@@ -1,0 +1,141 @@
+// A full node with Forerunner integrated (paper Fig. 3). Owns its chain state
+// (KvStore + Merkle-Patricia trie + StateDb), hears transactions from the
+// dissemination layer, drives the multi-future predictor / speculator /
+// prefetcher off the critical path, and executes blocks on the critical path
+// through the transaction execution accelerator. A node configured with
+// ExecStrategy::kBaseline is the unmodified reference node.
+#ifndef SRC_FORERUNNER_NODE_H_
+#define SRC_FORERUNNER_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/dice/block.h"
+#include "src/forerunner/accelerator.h"
+#include "src/forerunner/predictor.h"
+#include "src/forerunner/prefetcher.h"
+
+namespace frn {
+
+// Per-transaction critical-path measurement.
+struct TxExecRecord {
+  uint64_t tx_id = 0;
+  double seconds = 0;        // wall-clock time on the critical path
+  bool on_fork = false;      // executed in a block that lost its fork race
+  bool heard = false;        // heard during dissemination before execution
+  bool speculated = false;   // an AP/record was available in time
+  bool accelerated = false;  // constraint set satisfied / record matched
+  bool perfect = false;      // prediction outcome (Table 3)
+  uint64_t gas_used = 0;
+  ExecStatus status = ExecStatus::kSuccess;
+  size_t instrs_executed = 0;
+  size_t instrs_skipped = 0;
+};
+
+struct BlockExecReport {
+  Hash state_root;
+  std::vector<TxExecRecord> txs;
+  double total_seconds = 0;
+};
+
+struct NodeOptions {
+  ExecStrategy strategy = ExecStrategy::kForerunner;
+  KvStore::Options store;
+  PredictorOptions predictor;
+  Speculator::Options speculator;
+  // Ablation switch: skip the explicit prefetch pass (speculative execution
+  // itself still warms whatever it touches).
+  bool enable_prefetch = true;
+  // Speculation wall time is charged to simulated time scaled by this factor
+  // (an AP is only usable if ready before the block executes).
+  double speculation_time_scale = 1.0;
+  uint64_t rng_seed = 0xF03E;
+};
+
+class Node {
+ public:
+  // `genesis` populates the world state deterministically.
+  Node(const NodeOptions& options, const std::function<void(StateDb*)>& genesis);
+
+  // ---- Dissemination (off the critical path) ----
+  void OnHeard(const Transaction& tx, double sim_time);
+
+  // Runs the prediction + speculation + prefetch pipeline over the pending
+  // pool; called by the emulator whenever off-critical-path time is available.
+  void RunSpeculationPipeline(double sim_time);
+
+  // ---- Execution (the critical path) ----
+  BlockExecReport ExecuteBlock(const Block& block, double sim_time);
+
+  // Undoes the most recent ExecuteBlock: the chain head returns to the
+  // previous root and the orphaned block's transactions re-enter the pending
+  // pool. Supports single-depth reorgs (temporary one-block forks).
+  void RollbackHead();
+
+  const Hash& head_root() const { return head_root_; }
+  const BlockContext& head() const { return head_; }
+  uint64_t pool_size() const { return static_cast<uint64_t>(pool_.size()); }
+
+  // Aggregate off-critical-path accounting (§5.6).
+  double total_speculation_seconds() const { return total_speculation_seconds_; }
+  double total_speculated_exec_seconds() const { return total_speculated_exec_seconds_; }
+  uint64_t futures_speculated() const { return futures_speculated_; }
+  uint64_t synthesis_failures() const { return synthesis_failures_; }
+  // Last-synthesis stats stream for Figure 15 / §5.5 aggregation.
+  const std::vector<SynthesisStats>& synthesis_stats() const { return synthesis_stats_; }
+  const std::vector<ApStats>& ap_stats() const { return ap_stats_; }
+
+  // Per-executed-transaction speculation summary (§5.5: futures pre-executed,
+  // distinct AP paths, shortcuts).
+  struct SpecSummary {
+    uint64_t tx_id = 0;
+    size_t futures = 0;
+    size_t paths = 0;
+    size_t shortcut_nodes = 0;
+    size_t memo_entries = 0;
+    size_t instr_nodes = 0;
+  };
+  const std::vector<SpecSummary>& executed_speculations() const {
+    return executed_speculations_;
+  }
+
+ private:
+  NodeOptions options_;
+  KvStore store_;
+  Mpt trie_;
+  SharedStateCache shared_cache_;
+  std::unique_ptr<StateDb> state_;
+  Hash head_root_;
+  BlockContext head_;
+  Rng rng_;
+
+  MultiFuturePredictor predictor_;
+  Speculator speculator_;
+  Prefetcher prefetcher_;
+
+  std::vector<PendingTx> pool_;
+  std::unordered_map<uint64_t, TxSpeculation> speculations_;
+  std::unordered_map<uint64_t, double> heard_at_;
+  std::unordered_map<Address, uint64_t, AddressHasher> chain_nonces_;
+  // Single-depth reorg support: the state before the last executed block.
+  bool has_parent_ = false;
+  Hash parent_root_;
+  BlockContext parent_header_;
+  std::unordered_map<Address, uint64_t, AddressHasher> parent_chain_nonces_;
+  std::vector<Transaction> last_block_txs_;
+  // Transactions already speculated against the current head root.
+  std::unordered_map<uint64_t, Hash> speculated_at_root_;
+
+  double total_speculation_seconds_ = 0;
+  double total_speculated_exec_seconds_ = 0;
+  uint64_t futures_speculated_ = 0;
+  uint64_t synthesis_failures_ = 0;
+  std::vector<SynthesisStats> synthesis_stats_;
+  std::vector<ApStats> ap_stats_;
+  std::vector<SpecSummary> executed_speculations_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_FORERUNNER_NODE_H_

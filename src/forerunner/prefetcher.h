@@ -1,0 +1,34 @@
+// The state prefetcher (paper §4.4): walks the trie paths of everything a
+// pre-execution read so the disk I/O, node decoding and key-value lookups are
+// paid off the critical path. Results land in the KvStore hot set and in the
+// SharedStateCache the critical-path StateDb reads through.
+#ifndef SRC_FORERUNNER_PREFETCHER_H_
+#define SRC_FORERUNNER_PREFETCHER_H_
+
+#include "src/core/linear_ir.h"
+
+namespace frn {
+
+class Prefetcher {
+ public:
+  Prefetcher(Mpt* trie, SharedStateCache* cache) : trie_(trie), cache_(cache) {}
+
+  // Warms every location in `reads` for the state at `root`.
+  void Prefetch(const Hash& root, const ReadSet& reads) {
+    StateDb db(trie_, root, cache_);
+    for (const Address& account : reads.accounts) {
+      db.PrefetchAccount(account);
+    }
+    for (const auto& [addr, key] : reads.storage_keys) {
+      db.PrefetchStorage(addr, key);
+    }
+  }
+
+ private:
+  Mpt* trie_;
+  SharedStateCache* cache_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_FORERUNNER_PREFETCHER_H_

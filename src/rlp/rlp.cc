@@ -1,0 +1,143 @@
+#include "src/rlp/rlp.h"
+
+namespace frn {
+
+void RlpEncoder::AppendLength(Bytes* out, size_t len, uint8_t offset) {
+  if (len < 56) {
+    out->push_back(static_cast<uint8_t>(offset + len));
+    return;
+  }
+  // Length-of-length form.
+  uint8_t be[8];
+  int n = 0;
+  for (int i = 7; i >= 0; --i) {
+    uint8_t b = static_cast<uint8_t>(len >> (8 * i));
+    if (n == 0 && b == 0) {
+      continue;
+    }
+    be[n++] = b;
+  }
+  out->push_back(static_cast<uint8_t>(offset + 55 + n));
+  out->insert(out->end(), be, be + n);
+}
+
+Bytes RlpEncoder::EncodeBytes(const uint8_t* data, size_t len) {
+  Bytes out;
+  if (len == 1 && data[0] < 0x80) {
+    out.push_back(data[0]);
+    return out;
+  }
+  AppendLength(&out, len, 0x80);
+  out.insert(out.end(), data, data + len);
+  return out;
+}
+
+Bytes RlpEncoder::EncodeBytes(const Bytes& data) { return EncodeBytes(data.data(), data.size()); }
+
+Bytes RlpEncoder::EncodeUint(const U256& value) {
+  auto be = value.ToBigEndian();
+  size_t first = 0;
+  while (first < 32 && be[first] == 0) {
+    ++first;
+  }
+  return EncodeBytes(be.data() + first, 32 - first);
+}
+
+Bytes RlpEncoder::EncodeUint(uint64_t value) { return EncodeUint(U256(value)); }
+
+Bytes RlpEncoder::EncodeList(const std::vector<Bytes>& encoded_items) {
+  size_t payload_len = 0;
+  for (const Bytes& item : encoded_items) {
+    payload_len += item.size();
+  }
+  Bytes out;
+  AppendLength(&out, payload_len, 0xc0);
+  for (const Bytes& item : encoded_items) {
+    out.insert(out.end(), item.begin(), item.end());
+  }
+  return out;
+}
+
+bool RlpDecoder::Decode(const Bytes& data, Item* out) {
+  size_t consumed = 0;
+  if (!DecodeItem(data.data(), data.size(), &consumed, out)) {
+    return false;
+  }
+  return consumed == data.size();
+}
+
+bool RlpDecoder::DecodeItem(const uint8_t* data, size_t len, size_t* consumed, Item* out) {
+  if (len == 0) {
+    return false;
+  }
+  uint8_t prefix = data[0];
+  if (prefix < 0x80) {
+    out->is_list = false;
+    out->payload = {prefix};
+    *consumed = 1;
+    return true;
+  }
+  auto read_long_len = [&](size_t n_len_bytes, size_t header, size_t* out_len) -> bool {
+    if (len < header) {
+      return false;
+    }
+    size_t v = 0;
+    for (size_t i = 0; i < n_len_bytes; ++i) {
+      v = (v << 8) | data[1 + i];
+    }
+    *out_len = v;
+    return true;
+  };
+  if (prefix <= 0xb7) {
+    size_t plen = prefix - 0x80;
+    if (len < 1 + plen) {
+      return false;
+    }
+    out->is_list = false;
+    out->payload.assign(data + 1, data + 1 + plen);
+    *consumed = 1 + plen;
+    return true;
+  }
+  if (prefix <= 0xbf) {
+    size_t n = prefix - 0xb7;
+    size_t plen;
+    if (!read_long_len(n, 1 + n, &plen) || len < 1 + n + plen) {
+      return false;
+    }
+    out->is_list = false;
+    out->payload.assign(data + 1 + n, data + 1 + n + plen);
+    *consumed = 1 + n + plen;
+    return true;
+  }
+  size_t header;
+  size_t plen;
+  if (prefix <= 0xf7) {
+    header = 1;
+    plen = prefix - 0xc0;
+  } else {
+    size_t n = prefix - 0xf7;
+    header = 1 + n;
+    if (!read_long_len(n, header, &plen)) {
+      return false;
+    }
+  }
+  if (len < header + plen) {
+    return false;
+  }
+  out->is_list = true;
+  size_t off = header;
+  size_t end = header + plen;
+  while (off < end) {
+    Item child;
+    size_t child_consumed = 0;
+    if (!DecodeItem(data + off, end - off, &child_consumed, &child)) {
+      return false;
+    }
+    out->children.push_back(std::move(child));
+    off += child_consumed;
+  }
+  *consumed = end;
+  return true;
+}
+
+}  // namespace frn

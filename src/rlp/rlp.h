@@ -1,0 +1,51 @@
+// Recursive Length Prefix (RLP) encoding per the Ethereum Yellow Paper,
+// appendix B. Used to serialize accounts and trie nodes so that trie roots are
+// computed over canonical byte strings.
+#ifndef SRC_RLP_RLP_H_
+#define SRC_RLP_RLP_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace frn {
+
+// Incremental RLP writer. Items are appended in order; nested lists are built
+// by encoding the sub-list separately and appending with AppendRaw inside a
+// BeginList/EndList pair is unnecessary — lists here are built bottom-up.
+class RlpEncoder {
+ public:
+  // Encodes a byte string item.
+  static Bytes EncodeBytes(const Bytes& data);
+  static Bytes EncodeBytes(const uint8_t* data, size_t len);
+  // Encodes an integer as a big-endian byte string with no leading zeros
+  // (the canonical RLP integer form; zero encodes as the empty string).
+  static Bytes EncodeUint(const U256& value);
+  static Bytes EncodeUint(uint64_t value);
+  // Wraps already-encoded items into a list payload.
+  static Bytes EncodeList(const std::vector<Bytes>& encoded_items);
+
+ private:
+  static void AppendLength(Bytes* out, size_t len, uint8_t offset);
+};
+
+// Minimal decoder used by tests and the trie (round-trip validation).
+class RlpDecoder {
+ public:
+  struct Item {
+    bool is_list = false;
+    Bytes payload;                // string payload when !is_list
+    std::vector<Item> children;   // decoded children when is_list
+  };
+
+  // Decodes one item; returns false on malformed input.
+  static bool Decode(const Bytes& data, Item* out);
+
+ private:
+  static bool DecodeItem(const uint8_t* data, size_t len, size_t* consumed, Item* out);
+};
+
+}  // namespace frn
+
+#endif  // SRC_RLP_RLP_H_

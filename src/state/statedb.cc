@@ -1,0 +1,377 @@
+#include "src/state/statedb.h"
+
+#include <cassert>
+
+#include "src/crypto/keccak.h"
+#include "src/rlp/rlp.h"
+
+namespace frn {
+
+void SharedStateCache::Reset(const Hash& root) {
+  root_ = root;
+  accounts_.clear();
+  storage_.clear();
+}
+
+std::optional<Account> SharedStateCache::GetAccount(const Address& addr) const {
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void SharedStateCache::PutAccount(const Address& addr, const Account& account) {
+  accounts_.emplace(addr, account);
+}
+
+std::optional<U256> SharedStateCache::GetStorage(const Address& addr, const U256& key) const {
+  auto it = storage_.find(SlotKey{addr, key});
+  if (it == storage_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void SharedStateCache::PutStorage(const Address& addr, const U256& key, const U256& value) {
+  storage_.emplace(SlotKey{addr, key}, value);
+}
+
+StateDb::StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache)
+    : trie_(trie), root_(root), shared_cache_(shared_cache) {}
+
+Bytes StateDb::AccountKey(const Address& addr) {
+  // Secure trie: key is keccak(address).
+  Hash h = Keccak256(addr.bytes().data(), addr.bytes().size());
+  return Bytes(h.bytes().begin(), h.bytes().end());
+}
+
+Bytes StateDb::StorageKey(const U256& key) {
+  Hash h = Keccak256Word(key);
+  return Bytes(h.bytes().begin(), h.bytes().end());
+}
+
+Bytes StateDb::EncodeAccount(const Account& a) {
+  std::vector<Bytes> items;
+  items.push_back(RlpEncoder::EncodeUint(a.nonce));
+  items.push_back(RlpEncoder::EncodeUint(a.balance));
+  Hash storage_root = a.storage_root.IsZero() ? Mpt::EmptyRoot() : a.storage_root;
+  items.push_back(RlpEncoder::EncodeBytes(storage_root.bytes().data(), 32));
+  items.push_back(RlpEncoder::EncodeBytes(a.code_hash.bytes().data(), 32));
+  return RlpEncoder::EncodeList(items);
+}
+
+bool StateDb::DecodeAccount(const Bytes& data, Account* out) {
+  RlpDecoder::Item item;
+  if (!RlpDecoder::Decode(data, &item) || !item.is_list || item.children.size() != 4) {
+    return false;
+  }
+  const auto& nonce = item.children[0].payload;
+  out->nonce = U256::FromBigEndian(nonce.data(), nonce.size()).AsUint64();
+  const auto& bal = item.children[1].payload;
+  out->balance = U256::FromBigEndian(bal.data(), bal.size());
+  std::array<uint8_t, 32> h{};
+  if (item.children[2].payload.size() == 32) {
+    std::copy(item.children[2].payload.begin(), item.children[2].payload.end(), h.begin());
+  }
+  out->storage_root = Hash(h);
+  std::array<uint8_t, 32> ch{};
+  if (item.children[3].payload.size() == 32) {
+    std::copy(item.children[3].payload.begin(), item.children[3].payload.end(), ch.begin());
+  }
+  out->code_hash = Hash(ch);
+  out->exists = true;
+  return true;
+}
+
+Account& StateDb::Load(const Address& addr) {
+  auto it = accounts_.find(addr);
+  if (it != accounts_.end()) {
+    return it->second;
+  }
+  Account account;
+  bool from_shared = false;
+  if (shared_cache_ != nullptr && shared_cache_->root() == root_) {
+    if (auto cached = shared_cache_->GetAccount(addr)) {
+      account = *cached;
+      from_shared = true;
+      ++stats_.shared_cache_hits;
+    }
+  }
+  if (!from_shared) {
+    ++stats_.account_trie_reads;
+    auto blob = trie_->Get(root_, AccountKey(addr));
+    if (blob) {
+      DecodeAccount(*blob, &account);
+    }
+  }
+  return accounts_.emplace(addr, account).first->second;
+}
+
+bool StateDb::Exists(const Address& addr) { return Load(addr).exists; }
+
+void StateDb::CreateAccount(const Address& addr) {
+  Account& a = Load(addr);
+  if (a.exists) {
+    return;
+  }
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kCreate;
+  e.addr = addr;
+  e.prev_exists = false;
+  journal_.push_back(e);
+  a.exists = true;
+}
+
+U256 StateDb::GetBalance(const Address& addr) { return Load(addr).balance; }
+
+void StateDb::SetBalance(const Address& addr, const U256& value) {
+  Account& a = Load(addr);
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kBalance;
+  e.addr = addr;
+  e.prev_word = a.balance;
+  e.prev_exists = a.exists;
+  journal_.push_back(e);
+  a.balance = value;
+  a.exists = true;
+}
+
+void StateDb::AddBalance(const Address& addr, const U256& value) {
+  SetBalance(addr, GetBalance(addr) + value);
+}
+
+bool StateDb::SubBalance(const Address& addr, const U256& value) {
+  U256 balance = GetBalance(addr);
+  if (balance < value) {
+    return false;
+  }
+  SetBalance(addr, balance - value);
+  return true;
+}
+
+uint64_t StateDb::GetNonce(const Address& addr) { return Load(addr).nonce; }
+
+void StateDb::SetNonce(const Address& addr, uint64_t nonce) {
+  Account& a = Load(addr);
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kNonce;
+  e.addr = addr;
+  e.prev_nonce = a.nonce;
+  e.prev_exists = a.exists;
+  journal_.push_back(e);
+  a.nonce = nonce;
+  a.exists = true;
+}
+
+Bytes StateDb::GetCode(const Address& addr) {
+  Account& a = Load(addr);
+  if (a.code_hash.IsZero()) {
+    return {};
+  }
+  auto it = code_cache_.find(a.code_hash);
+  if (it != code_cache_.end()) {
+    return it->second;
+  }
+  auto blob = trie_->store()->Get(a.code_hash);
+  Bytes code = blob.value_or(Bytes{});
+  code_cache_.emplace(a.code_hash, code);
+  return code;
+}
+
+Hash StateDb::GetCodeHash(const Address& addr) { return Load(addr).code_hash; }
+
+void StateDb::SetCode(const Address& addr, const Bytes& code) {
+  Account& a = Load(addr);
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kCode;
+  e.addr = addr;
+  e.prev_code_hash = a.code_hash;
+  e.prev_exists = a.exists;
+  journal_.push_back(e);
+  Hash code_hash = Keccak256(code);
+  trie_->store()->Put(code_hash, code);
+  code_cache_[code_hash] = code;
+  a.code_hash = code_hash;
+  a.exists = true;
+}
+
+U256 StateDb::GetCommittedStorage(const Address& addr, const U256& key) {
+  StorageCache& cache = storage_[addr];
+  auto it = cache.committed.find(key);
+  if (it != cache.committed.end()) {
+    return it->second;
+  }
+  U256 value;
+  bool resolved = false;
+  if (shared_cache_ != nullptr && shared_cache_->root() == root_) {
+    if (auto cached = shared_cache_->GetStorage(addr, key)) {
+      value = *cached;
+      resolved = true;
+      ++stats_.shared_cache_hits;
+    }
+  }
+  if (!resolved) {
+    Account& a = Load(addr);
+    if (a.exists && !a.storage_root.IsZero() && a.storage_root != Mpt::EmptyRoot()) {
+      ++stats_.storage_trie_reads;
+      auto blob = trie_->Get(a.storage_root, StorageKey(key));
+      if (blob) {
+        RlpDecoder::Item item;
+        if (RlpDecoder::Decode(*blob, &item) && !item.is_list) {
+          value = U256::FromBigEndian(item.payload.data(), item.payload.size());
+        }
+      }
+    }
+  }
+  cache.committed.emplace(key, value);
+  return value;
+}
+
+U256 StateDb::GetStorage(const Address& addr, const U256& key) {
+  StorageCache& cache = storage_[addr];
+  auto it = cache.current.find(key);
+  if (it != cache.current.end()) {
+    return it->second;
+  }
+  return GetCommittedStorage(addr, key);
+}
+
+void StateDb::SetStorage(const Address& addr, const U256& key, const U256& value) {
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kStorage;
+  e.addr = addr;
+  e.key = key;
+  e.prev_word = GetStorage(addr, key);
+  journal_.push_back(e);
+  storage_[addr].current[key] = value;
+}
+
+int StateDb::Snapshot() { return static_cast<int>(journal_.size()); }
+
+void StateDb::RevertToSnapshot(int id) {
+  assert(id >= 0 && static_cast<size_t>(id) <= journal_.size());
+  while (journal_.size() > static_cast<size_t>(id)) {
+    const JournalEntry& e = journal_.back();
+    switch (e.kind) {
+      case JournalEntry::Kind::kBalance: {
+        Account& a = accounts_.at(e.addr);
+        a.balance = e.prev_word;
+        a.exists = e.prev_exists;
+        break;
+      }
+      case JournalEntry::Kind::kNonce: {
+        Account& a = accounts_.at(e.addr);
+        a.nonce = e.prev_nonce;
+        a.exists = e.prev_exists;
+        break;
+      }
+      case JournalEntry::Kind::kStorage:
+        storage_.at(e.addr).current[e.key] = e.prev_word;
+        break;
+      case JournalEntry::Kind::kCode: {
+        Account& a = accounts_.at(e.addr);
+        a.code_hash = e.prev_code_hash;
+        a.exists = e.prev_exists;
+        break;
+      }
+      case JournalEntry::Kind::kCreate:
+        accounts_.at(e.addr).exists = false;
+        break;
+    }
+    journal_.pop_back();
+  }
+}
+
+Hash StateDb::Commit() {
+  Hash state_root = root_.IsZero() ? Mpt::EmptyRoot() : root_;
+  // First fold dirty storage into each touched account's storage trie.
+  for (auto& [addr, cache] : storage_) {
+    if (cache.current.empty()) {
+      continue;
+    }
+    Account& a = Load(addr);
+    Hash storage_root =
+        (a.storage_root.IsZero()) ? Mpt::EmptyRoot() : a.storage_root;
+    for (const auto& [key, value] : cache.current) {
+      Bytes encoded;
+      if (!value.IsZero()) {
+        encoded = RlpEncoder::EncodeUint(value);
+      }
+      storage_root = trie_->Put(storage_root, StorageKey(key), encoded);
+      cache.committed[key] = value;
+    }
+    a.storage_root = storage_root;
+    a.exists = true;
+    cache.current.clear();
+  }
+  // Then write every loaded+existing account back to the state trie. Writing
+  // clean accounts is harmless (same bytes -> same node hashes).
+  for (auto& [addr, account] : accounts_) {
+    if (!account.exists) {
+      continue;
+    }
+    state_root = trie_->Put(state_root, AccountKey(addr), EncodeAccount(account));
+  }
+  root_ = state_root;
+  journal_.clear();
+  return state_root;
+}
+
+void StateDb::PrefetchAccount(const Address& addr) {
+  auto blob = trie_->Prefetch(root_, AccountKey(addr));
+  if (shared_cache_ != nullptr) {
+    if (shared_cache_->root() != root_) {
+      shared_cache_->Reset(root_);
+    }
+    Account account;
+    if (blob) {
+      DecodeAccount(*blob, &account);
+    }
+    shared_cache_->PutAccount(addr, account);
+    if (!account.code_hash.IsZero()) {
+      trie_->store()->Get(account.code_hash);  // heats the code blob
+    }
+  }
+}
+
+void StateDb::PrefetchStorage(const Address& addr, const U256& key) {
+  Account account;
+  bool have_account = false;
+  if (shared_cache_ != nullptr && shared_cache_->root() == root_) {
+    if (auto cached = shared_cache_->GetAccount(addr)) {
+      account = *cached;
+      have_account = true;
+    }
+  }
+  if (!have_account) {
+    PrefetchAccount(addr);
+    if (shared_cache_ != nullptr) {
+      if (auto cached = shared_cache_->GetAccount(addr)) {
+        account = *cached;
+        have_account = true;
+      }
+    }
+  }
+  if (!have_account || !account.exists) {
+    return;
+  }
+  U256 value;
+  if (!account.storage_root.IsZero() && account.storage_root != Mpt::EmptyRoot()) {
+    auto blob = trie_->Prefetch(account.storage_root, StorageKey(key));
+    if (blob) {
+      RlpDecoder::Item item;
+      if (RlpDecoder::Decode(*blob, &item) && !item.is_list) {
+        value = U256::FromBigEndian(item.payload.data(), item.payload.size());
+      }
+    }
+  }
+  if (shared_cache_ != nullptr) {
+    if (shared_cache_->root() != root_) {
+      shared_cache_->Reset(root_);
+    }
+    shared_cache_->PutStorage(addr, key, value);
+  }
+}
+
+}  // namespace frn

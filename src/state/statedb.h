@@ -1,0 +1,148 @@
+// Journaled world-state database over the Merkle-Patricia trie, mirroring
+// Geth's StateDB: account/storage value caches in front of the trie, a journal
+// with snapshot/revert for nested call frames, and a Commit step that folds
+// dirty values into the tries and produces the post-state root used for the
+// paper's Merkle-root correctness validation (§5.2).
+#ifndef SRC_STATE_STATEDB_H_
+#define SRC_STATE_STATEDB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trie/trie.h"
+
+namespace frn {
+
+struct Account {
+  U256 balance;
+  uint64_t nonce = 0;
+  Hash storage_root;  // zero => empty trie
+  Hash code_hash;     // zero => no code
+  bool exists = false;
+};
+
+// Values read ahead of time by the prefetcher, shared between the speculative
+// and the critical-path StateDB instances. All entries are valid only for the
+// state root they were read at.
+class SharedStateCache {
+ public:
+  void Reset(const Hash& root);
+  const Hash& root() const { return root_; }
+
+  std::optional<Account> GetAccount(const Address& addr) const;
+  void PutAccount(const Address& addr, const Account& account);
+  std::optional<U256> GetStorage(const Address& addr, const U256& key) const;
+  void PutStorage(const Address& addr, const U256& key, const U256& value);
+
+  size_t account_entries() const { return accounts_.size(); }
+  size_t storage_entries() const { return storage_.size(); }
+
+ private:
+  struct SlotKey {
+    Address addr;
+    U256 key;
+    bool operator==(const SlotKey& o) const { return addr == o.addr && key == o.key; }
+  };
+  struct SlotKeyHasher {
+    size_t operator()(const SlotKey& k) const {
+      return AddressHasher{}(k.addr) * 1000003u ^ k.key.HashValue();
+    }
+  };
+
+  Hash root_;
+  std::unordered_map<Address, Account, AddressHasher> accounts_;
+  std::unordered_map<SlotKey, U256, SlotKeyHasher> storage_;
+};
+
+struct StateDbStats {
+  uint64_t account_trie_reads = 0;
+  uint64_t storage_trie_reads = 0;
+  uint64_t shared_cache_hits = 0;
+};
+
+class StateDb {
+ public:
+  // Opens the world state at `root`. `shared_cache` may be null.
+  StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache = nullptr);
+
+  // ---- Account access ----
+  bool Exists(const Address& addr);
+  void CreateAccount(const Address& addr);
+  U256 GetBalance(const Address& addr);
+  void SetBalance(const Address& addr, const U256& value);
+  void AddBalance(const Address& addr, const U256& value);
+  // Returns false on insufficient balance (no change applied).
+  bool SubBalance(const Address& addr, const U256& value);
+  uint64_t GetNonce(const Address& addr);
+  void SetNonce(const Address& addr, uint64_t nonce);
+  Bytes GetCode(const Address& addr);
+  Hash GetCodeHash(const Address& addr);
+  void SetCode(const Address& addr, const Bytes& code);
+
+  // ---- Storage access ----
+  U256 GetStorage(const Address& addr, const U256& key);
+  void SetStorage(const Address& addr, const U256& key, const U256& value);
+  // The committed (pre-transaction) value, used by the SSTORE gas rules.
+  U256 GetCommittedStorage(const Address& addr, const U256& key);
+
+  // ---- Journal ----
+  // Returns a snapshot id; RevertToSnapshot undoes everything after it.
+  int Snapshot();
+  void RevertToSnapshot(int id);
+
+  // ---- Commit ----
+  // Folds all dirty values into the tries; returns the new state root.
+  // The StateDb remains usable and now reads through the new root.
+  Hash Commit();
+
+  // ---- Prefetch (off the critical path) ----
+  // Walks the trie paths for the given account/slot so the store's hot set and
+  // the shared cache are populated; never changes logical state.
+  void PrefetchAccount(const Address& addr);
+  void PrefetchStorage(const Address& addr, const U256& key);
+
+  const Hash& root() const { return root_; }
+  Mpt* trie() { return trie_; }
+  const StateDbStats& stats() const { return stats_; }
+
+ private:
+  struct JournalEntry {
+    enum class Kind { kBalance, kNonce, kStorage, kCode, kCreate } kind;
+    Address addr;
+    U256 key;        // storage only
+    U256 prev_word;  // balance / storage
+    uint64_t prev_nonce = 0;
+    Hash prev_code_hash;
+    bool prev_exists = false;
+  };
+
+  // Loads (and caches) the account object, reading through shared cache and trie.
+  Account& Load(const Address& addr);
+  static Bytes AccountKey(const Address& addr);
+  static Bytes StorageKey(const U256& key);
+  static Bytes EncodeAccount(const Account& a);
+  static bool DecodeAccount(const Bytes& data, Account* out);
+
+  Mpt* trie_;
+  Hash root_;
+  SharedStateCache* shared_cache_;
+
+  std::unordered_map<Address, Account, AddressHasher> accounts_;
+  // Per-account storage caches: committed values and current (dirty) values.
+  struct StorageCache {
+    std::unordered_map<U256, U256, U256Hasher> committed;
+    std::unordered_map<U256, U256, U256Hasher> current;
+  };
+  std::unordered_map<Address, StorageCache, AddressHasher> storage_;
+  std::unordered_map<Hash, Bytes, HashHasher> code_cache_;
+  std::vector<JournalEntry> journal_;
+  StateDbStats stats_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_STATE_STATEDB_H_

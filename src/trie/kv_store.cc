@@ -1,0 +1,43 @@
+#include "src/trie/kv_store.h"
+
+namespace frn {
+
+void SpinFor(std::chrono::nanoseconds duration) {
+  auto end = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < end) {
+    // Busy-wait: the cost must land on the calling thread's wall clock.
+  }
+}
+
+std::optional<Bytes> KvStore::Get(const Hash& key) {
+  ++stats_.reads;
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return std::nullopt;
+  }
+  if (!hot_.contains(key)) {
+    ++stats_.cold_reads;
+    SpinFor(options_.cold_read_latency);
+    Touch(key);
+  }
+  return it->second;
+}
+
+void KvStore::Put(const Hash& key, Bytes value) {
+  ++stats_.writes;
+  data_[key] = std::move(value);
+  Touch(key);
+}
+
+void KvStore::Warm(const Hash& key) { Touch(key); }
+
+void KvStore::Touch(const Hash& key) {
+  if (hot_.size() >= options_.hot_set_capacity) {
+    // Cheap wholesale eviction keeps the model simple; correctness does not
+    // depend on which entries stay hot, only on cold reads costing time.
+    hot_.clear();
+  }
+  hot_.insert(key);
+}
+
+}  // namespace frn

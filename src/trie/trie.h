@@ -1,0 +1,86 @@
+// Hexary Merkle-Patricia trie over a content-addressed KvStore, following the
+// Yellow Paper's node structure (leaf / extension / branch) and hex-prefix
+// path encoding. The trie is persistent: every mutation returns a new root
+// hash and old roots remain readable, which gives the state snapshots that
+// speculative pre-execution runs against for free.
+#ifndef SRC_TRIE_TRIE_H_
+#define SRC_TRIE_TRIE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/trie/kv_store.h"
+
+namespace frn {
+
+// A nibble path (each element 0..15).
+using Nibbles = std::vector<uint8_t>;
+
+// Converts a byte key to its nibble expansion.
+Nibbles BytesToNibbles(const uint8_t* data, size_t len);
+
+// Hex-prefix encoding of a nibble path (Yellow Paper appendix C).
+Bytes HexPrefixEncode(const Nibbles& path, bool is_leaf);
+// Inverse of HexPrefixEncode; sets *is_leaf from the flag nibble.
+Nibbles HexPrefixDecode(const Bytes& encoded, bool* is_leaf);
+
+class Mpt {
+ public:
+  explicit Mpt(KvStore* store) : store_(store) {}
+
+  // The canonical root hash of the empty trie (keccak of RLP empty string).
+  static Hash EmptyRoot();
+
+  // Reads the value at `key` under `root`; nullopt when absent.
+  std::optional<Bytes> Get(const Hash& root, const Bytes& key);
+  // Writes `value` at `key`; empty value deletes. Returns the new root.
+  Hash Put(const Hash& root, const Bytes& key, const Bytes& value);
+  // Walks the path for `key` so that all touched nodes become hot in the
+  // store (the prefetcher's mechanism); returns the value if present.
+  std::optional<Bytes> Prefetch(const Hash& root, const Bytes& key);
+
+  // Produces a Merkle proof for `key` under `root`: the ordered node blobs
+  // from the root down to the terminating node. The proof demonstrates either
+  // the presence of the returned value or the key's absence. Returns false if
+  // the root is unknown to the store.
+  bool Prove(const Hash& root, const Bytes& key, std::vector<Bytes>* proof);
+
+  // Verifies a proof against a bare root hash without any store access.
+  // On success sets *value to the proven value (nullopt proves absence).
+  static bool VerifyProof(const Hash& root, const Bytes& key,
+                          const std::vector<Bytes>& proof, std::optional<Bytes>* value);
+
+  KvStore* store() { return store_; }
+
+ private:
+  // Decoded node representation.
+  struct Node {
+    enum class Kind { kLeaf, kExtension, kBranch } kind = Kind::kLeaf;
+    Nibbles path;                    // leaf/extension only
+    Bytes value;                     // leaf and branch value slot
+    Hash child;                      // extension child
+    std::array<Hash, 16> children{};  // branch children (zero hash = empty)
+  };
+
+  // Decodes a serialized node blob; false on malformed input.
+  static bool DecodeNodeBlob(const Bytes& blob, Node* out);
+  // Loads and decodes the node stored under `ref`; false if absent/corrupt.
+  bool LoadNode(const Hash& ref, Node* out);
+  // Encodes + stores a node, returning its hash reference.
+  Hash StoreNode(const Node& node);
+
+  std::optional<Bytes> GetAt(const Hash& ref, const Nibbles& key, size_t depth);
+  // Returns the new ref for the subtree rooted at `ref` after inserting.
+  Hash PutAt(const Hash& ref, const Nibbles& key, size_t depth, const Bytes& value);
+  // Returns the new ref after deleting; zero hash means subtree became empty.
+  Hash DeleteAt(const Hash& ref, const Nibbles& key, size_t depth);
+  // Collapses single-child branches / chained extensions after deletion.
+  Hash Normalize(const Node& node);
+
+  KvStore* store_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_TRIE_TRIE_H_

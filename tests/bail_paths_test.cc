@@ -1,0 +1,201 @@
+// Failure-injection tests: traces the specializer must refuse (falling back
+// to the EVM rather than producing an unsound AP), deep-call semantics, and
+// the 63/64 gas-forwarding rule.
+#include <gtest/gtest.h>
+
+#include "src/core/ap.h"
+#include "src/core/trace_builder.h"
+#include "tests/test_util.h"
+
+namespace frn {
+namespace {
+
+struct Synth {
+  bool ok = false;
+  std::string reason;
+  Ap ap;
+  ExecResult speculated;
+};
+
+Synth Build(TestWorld& world, const Hash& root, const Transaction& tx) {
+  Synth out;
+  StateDb scratch(&world.trie(), root);
+  TraceBuilder builder(tx, &scratch);
+  Evm evm(&scratch, world.block());
+  out.speculated = evm.ExecuteTransaction(tx, &builder);
+  LinearIr ir;
+  if (!builder.Finalize(out.speculated, &ir)) {
+    out.reason = builder.failed_reason();
+    return out;
+  }
+  out.ap = Ap::Build(std::move(ir));
+  out.ok = true;
+  return out;
+}
+
+TEST(BailPathTest, NonWordAlignedSha3Bails) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  // SHA3 over 33 bytes: the word-granular memory model cannot express it.
+  Address contract = world.DeployAsm(100, R"(
+    PUSH 33
+    PUSH 0
+    SHA3
+    PUSH 0
+    SSTORE
+    STOP
+  )");
+  Hash root = world.state().Commit();
+  Transaction tx = world.MakeTx(user, contract, {});
+  Synth synth = Build(world, root, tx);
+  EXPECT_FALSE(synth.ok);
+  EXPECT_NE(synth.reason.find("word-aligned"), std::string::npos);
+  // The EVM itself handles it fine (the node simply does not accelerate).
+  StateDb state(&world.trie(), root);
+  Evm evm(&state, world.block());
+  EXPECT_TRUE(evm.ExecuteTransaction(tx).ok());
+}
+
+TEST(BailPathTest, NonWordAlignedLogBails) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  Address contract = world.DeployAsm(100, "PUSH 7\nPUSH 0\nLOG0\nSTOP");
+  Hash root = world.state().Commit();
+  Synth synth = Build(world, root, world.MakeTx(user, contract, {}));
+  EXPECT_FALSE(synth.ok);
+}
+
+TEST(BailPathTest, ReadSetSurvivesBailForPrefetching) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  // Reads storage, then hits an unsupported SHA3 shape.
+  Address contract = world.DeployAsm(100, R"(
+    PUSH 3
+    SLOAD
+    POP
+    PUSH 33
+    PUSH 0
+    SHA3
+    PUSH 0
+    SSTORE
+    STOP
+  )");
+  world.state().SetStorage(contract, U256(3), U256(9));
+  Hash root = world.state().Commit();
+  Transaction tx = world.MakeTx(user, contract, {});
+  StateDb scratch(&world.trie(), root);
+  TraceBuilder builder(tx, &scratch);
+  Evm evm(&scratch, world.block());
+  evm.ExecuteTransaction(tx, &builder);
+  EXPECT_FALSE(builder.ok());
+  // The storage key read before the bail is still in the read set.
+  bool found = false;
+  for (const auto& [addr, key] : builder.read_set().storage_keys) {
+    if (addr == contract && key == U256(3)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CallDepthTest, RecursionStopsAtTheDepthLimit) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  // A contract that calls itself and adds 1 to the result; the recursion
+  // terminates when the depth cap makes the inner CALL fail.
+  Address self_addr = Address::FromId(100);
+  std::string src = R"(
+    PUSH 32
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH )" + self_addr.ToU256().ToHex() + R"(
+    GAS
+    CALL
+    POP
+    PUSH 0
+    MLOAD          ; inner result (0 if the call failed)
+    PUSH 1
+    ADD
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+  )";
+  Address contract = world.DeployAsm(100, src);
+  ASSERT_EQ(contract, self_addr);
+  Transaction tx = world.MakeTx(user, contract, {});
+  tx.gas_limit = 30'000'000;
+  // Raise the block gas limit so depth — not gas — is the binding constraint.
+  world.block().gas_limit = 50'000'000;
+  ExecResult r = world.Run(tx);
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  U256 depth_reached = U256::FromBigEndian(r.return_data.data(), 32);
+  // Depth cap is 64: the top frame plus 64 nested frames (the last fails).
+  EXPECT_EQ(depth_reached, U256(GasSchedule::kCallStipendDepth + 1));
+}
+
+TEST(CallDepthTest, SixtyThreeSixtyFourthsRuleLimitsForwardedGas) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  // Callee reports how much gas it received.
+  Address callee = world.DeployAsm(200, "GAS\nPUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nRETURN");
+  std::string src = R"(
+    PUSH 32
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH )" + callee.ToU256().ToHex() + R"(
+    GAS
+    CALL
+    POP
+    PUSH 0
+    MLOAD
+    GAS
+    PUSH 32
+    MSTORE
+    PUSH 0
+    MSTORE
+    PUSH 64
+    PUSH 0
+    RETURN
+  )";
+  Address caller = world.DeployAsm(100, src);
+  Transaction tx = world.MakeTx(user, caller, {});
+  ExecResult r = world.Run(tx);
+  ASSERT_TRUE(r.ok());
+  U256 callee_gas = U256::FromBigEndian(r.return_data.data(), 32);
+  U256 caller_gas_after = U256::FromBigEndian(r.return_data.data() + 32, 32);
+  // The caller kept at least 1/64 of its gas at the call point.
+  EXPECT_GT(caller_gas_after, U256());
+  EXPECT_GT(callee_gas, U256(1'000'000));  // got the lion's share
+  EXPECT_LT(callee_gas, U256(tx.gas_limit));
+}
+
+TEST(BailPathTest, AcceleratorFallsBackWhenSynthesisBailed) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  Address contract = world.DeployAsm(100, "PUSH 33\nPUSH 0\nSHA3\nPUSH 0\nSSTORE\nSTOP");
+  Hash root = world.state().Commit();
+  Transaction tx = world.MakeTx(user, contract, {});
+  // Reference result.
+  StateDb ref_state(&world.trie(), root);
+  Evm ref(&ref_state, world.block());
+  ExecResult expected = ref.ExecuteTransaction(tx);
+  Hash ref_root = ref_state.Commit();
+  // An empty AP (synthesis bailed) must never satisfy; the fallback matches.
+  Ap empty;
+  StateDb acc_state(&world.trie(), root);
+  ApRunResult run = empty.Execute(&acc_state, world.block());
+  EXPECT_FALSE(run.satisfied);
+  Evm fallback(&acc_state, world.block());
+  ExecResult got = fallback.ExecuteTransaction(tx);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(acc_state.Commit(), ref_root);
+}
+
+}  // namespace
+}  // namespace frn

@@ -1,0 +1,363 @@
+// Edge-case tests for the trace-to-S-EVM translation: byte-granular memory
+// composition (partial-word reads, MSTORE8, overlapping writes), storage
+// read-after-write promotion, BLOCKHASH reads, calldata copies, and the gas
+// determinism that CD-Equiv relies on. Every case is validated by the same
+// AP-vs-EVM Merkle-root equivalence used in core_test.
+#include <gtest/gtest.h>
+
+#include "src/contracts/contracts.h"
+#include "src/core/ap.h"
+#include "src/core/trace_builder.h"
+#include "src/crypto/keccak.h"
+#include "tests/test_util.h"
+
+namespace frn {
+namespace {
+
+struct Synth {
+  bool ok = false;
+  std::string reason;
+  Ap ap;
+  ExecResult speculated;
+};
+
+Synth Build(Mpt* trie, const Hash& root, const BlockContext& ctx, const Transaction& tx) {
+  Synth out;
+  StateDb scratch(trie, root);
+  TraceBuilder builder(tx, &scratch);
+  Evm evm(&scratch, ctx);
+  out.speculated = evm.ExecuteTransaction(tx, &builder);
+  LinearIr ir;
+  if (!builder.Finalize(out.speculated, &ir)) {
+    out.reason = builder.failed_reason();
+    return out;
+  }
+  out.ap = Ap::Build(std::move(ir));
+  out.ok = true;
+  return out;
+}
+
+// Runs EVM and AP from the same root and requires identical roots + results.
+void ExpectEquivalent(Mpt* trie, const Hash& root, const BlockContext& actual,
+                      const Transaction& tx, const Ap& ap, bool expect_satisfied = true) {
+  StateDb ref_state(trie, root);
+  Evm ref(&ref_state, actual);
+  ExecResult expected = ref.ExecuteTransaction(tx);
+  Hash ref_root = ref_state.Commit();
+
+  StateDb acc_state(trie, root);
+  ApRunResult run = ap.Execute(&acc_state, actual);
+  ASSERT_EQ(run.satisfied, expect_satisfied);
+  if (run.satisfied) {
+    EXPECT_EQ(run.result.status, expected.status);
+    EXPECT_EQ(run.result.gas_used, expected.gas_used);
+    EXPECT_EQ(run.result.return_data, expected.return_data);
+    acc_state.SetNonce(tx.sender, tx.nonce + 1);
+    acc_state.SubBalance(tx.sender, U256(run.result.gas_used) * tx.gas_price);
+    acc_state.AddBalance(actual.coinbase, U256(run.result.gas_used) * tx.gas_price);
+  } else {
+    Evm fallback(&acc_state, actual);
+    fallback.ExecuteTransaction(tx);
+  }
+  EXPECT_EQ(acc_state.Commit(), ref_root);
+}
+
+class BuilderEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    user_ = world_.Fund(1);
+  }
+
+  // Deploys `body`, seeds slot values, speculates tx, and checks equivalence
+  // at a mutated actual state (slot 0 changed) to exercise register flows.
+  void RunCase(const std::string& body, const U256& slot0_speculated,
+               const U256& slot0_actual) {
+    Address contract = world_.DeployAsm(100, body);
+    world_.state().SetStorage(contract, U256(0), slot0_speculated);
+    Hash spec_root = world_.state().Commit();
+    Transaction tx = world_.MakeTx(user_, contract, {});
+    Synth synth = Build(&world_.trie(), spec_root, world_.block(), tx);
+    ASSERT_TRUE(synth.ok) << synth.reason;
+    ASSERT_TRUE(synth.speculated.ok()) << ExecStatusName(synth.speculated.status);
+    // Perfect context.
+    ExpectEquivalent(&world_.trie(), spec_root, world_.block(), tx, synth.ap);
+    // Imperfect context: slot 0 differs; path is unchanged (no branching on
+    // the value in these cases), so the constraint set must still hold.
+    StateDb mutate(&world_.trie(), spec_root);
+    mutate.SetStorage(contract, U256(0), slot0_actual);
+    Hash actual_root = mutate.Commit();
+    ExpectEquivalent(&world_.trie(), actual_root, world_.block(), tx, synth.ap);
+  }
+
+  TestWorld world_;
+  Address user_;
+};
+
+TEST_F(BuilderEdgeTest, PartialWordMemoryReadComposes) {
+  // mem[0..32) = sload(0); read the unaligned word at offset 5; store it.
+  RunCase(R"(
+    PUSH 0
+    SLOAD
+    PUSH 0
+    MSTORE
+    PUSH 5
+    MLOAD
+    PUSH 1
+    SSTORE
+    STOP
+  )",
+          U256::FromHex("0x1122334455667788990011223344556677889900112233445566778899001122"),
+          U256::FromHex("0xffeeddccbbaa99887766554433221100ffeeddccbbaa99887766554433221100"));
+}
+
+TEST_F(BuilderEdgeTest, Mstore8InjectsSingleByte) {
+  // mem[3] = low byte of sload(0); read the word containing it.
+  RunCase(R"(
+    PUSH 0
+    SLOAD
+    PUSH 3
+    MSTORE8
+    PUSH 0
+    MLOAD
+    PUSH 1
+    SSTORE
+    STOP
+  )",
+          U256(0xAB), U256(0xCD));
+}
+
+TEST_F(BuilderEdgeTest, OverlappingStoresComposeBothSources) {
+  Address contract = world_.DeployAsm(100, R"(
+    PUSH 0
+    SLOAD          ; A
+    PUSH 0
+    MSTORE         ; mem[0..32) = A
+    PUSH 1
+    SLOAD          ; B
+    PUSH 16
+    MSTORE         ; mem[16..48) = B  (overwrites A's tail)
+    PUSH 8
+    MLOAD          ; bytes 8..40: A[8..16) ++ B[0..24)
+    PUSH 2
+    SSTORE
+    STOP
+  )");
+  world_.state().SetStorage(contract, U256(0),
+                            U256::FromHex("0x00112233445566778899aabbccddeeff"
+                                          "00112233445566778899aabbccddeeff"));
+  world_.state().SetStorage(contract, U256(1),
+                            U256::FromHex("0xf0e0d0c0b0a090807060504030201000"
+                                          "f0e0d0c0b0a090807060504030201000"));
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(user_, contract, {});
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  ExpectEquivalent(&world_.trie(), root, world_.block(), tx, synth.ap);
+  // Different A and B at execution time.
+  StateDb mutate(&world_.trie(), root);
+  mutate.SetStorage(contract, U256(0), U256(0x1234));
+  mutate.SetStorage(contract, U256(1), U256(0x5678) << 128);
+  Hash actual = mutate.Commit();
+  ExpectEquivalent(&world_.trie(), actual, world_.block(), tx, synth.ap);
+}
+
+TEST_F(BuilderEdgeTest, StorageReadAfterWritePromotes) {
+  // Increment slot 0 twice: register promotion must leave one SLOAD and one
+  // SSTORE, and the AP must still match the EVM.
+  Address contract = world_.DeployAsm(100, R"(
+    PUSH 0
+    SLOAD
+    PUSH 1
+    ADD
+    PUSH 0
+    SSTORE
+    PUSH 0
+    SLOAD
+    PUSH 1
+    ADD
+    PUSH 0
+    SSTORE
+    STOP
+  )");
+  world_.state().SetStorage(contract, U256(0), U256(10));
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(user_, contract, {});
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  size_t sloads = 0;
+  size_t sstores = 0;
+  for (const ApNode& node : synth.ap.nodes()) {
+    if (node.kind == ApNode::Kind::kInstr) {
+      sloads += node.instr.op == SOp::kSload ? 1 : 0;
+      sstores += node.instr.op == SOp::kSstore ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(sloads, 1u);
+  EXPECT_EQ(sstores, 1u);
+  ExpectEquivalent(&world_.trie(), root, world_.block(), tx, synth.ap);
+  StateDb check(&world_.trie(), root);
+  ApRunResult run = synth.ap.Execute(&check, world_.block());
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_EQ(check.GetStorage(contract, U256(0)), U256(12));
+}
+
+TEST_F(BuilderEdgeTest, BlockhashIsAContextRead) {
+  Address contract = world_.DeployAsm(100, R"(
+    NUMBER
+    PUSH 1
+    SWAP1
+    SUB            ; number - 1
+    BLOCKHASH
+    PUSH 0
+    SSTORE
+    STOP
+  )");
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(user_, contract, {});
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  // Same block number: perfect.
+  ExpectEquivalent(&world_.trie(), root, world_.block(), tx, synth.ap);
+  // A different block number changes both NUMBER and the hash; the path is
+  // unchanged, so constraints hold and the stored value tracks the context.
+  BlockContext later = world_.block();
+  later.number += 3;
+  ExpectEquivalent(&world_.trie(), root, later, tx, synth.ap);
+  StateDb check(&world_.trie(), root);
+  ApRunResult run = synth.ap.Execute(&check, later);
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_EQ(check.GetStorage(contract, U256(0)),
+            Evm::BlockHash(later.chain_seed, later.number - 1).ToU256());
+}
+
+TEST_F(BuilderEdgeTest, CalldatacopyThenHash) {
+  Address contract = world_.DeployAsm(100, R"(
+    PUSH 64        ; size
+    PUSH 4         ; calldata offset
+    PUSH 0         ; memory offset
+    CALLDATACOPY
+    PUSH 64
+    PUSH 0
+    SHA3
+    PUSH 0
+    SSTORE
+    STOP
+  )");
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(user_, contract, EncodeCall(9, {U256(111), U256(222)}));
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  ExpectEquivalent(&world_.trie(), root, world_.block(), tx, synth.ap);
+  StateDb check(&world_.trie(), root);
+  ApRunResult run = synth.ap.Execute(&check, world_.block());
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_EQ(check.GetStorage(contract, U256(0)),
+            Keccak256TwoWords(U256(111), U256(222)).ToU256());
+}
+
+TEST_F(BuilderEdgeTest, GasIsPathDeterministic) {
+  // CD-Equiv soundness for the deterministic gas schedule: the same control
+  // path in a different context consumes exactly the same gas.
+  Address feed = world_.Deploy(50, PriceFeed::Code());
+  world_.state().SetStorage(feed, U256(0), U256(3'990'300));
+  world_.state().SetStorage(feed, PriceFeed::PriceSlot(U256(3'990'300)), U256(2000));
+  world_.state().SetStorage(feed, PriceFeed::CountSlot(U256(3'990'300)), U256(4));
+  Hash root = world_.state().Commit();
+  world_.block().timestamp = 3'990'462;
+  Transaction tx = world_.MakeTx(user_, feed, PriceFeed::SubmitCall(U256(3'990'300), U256(1980)));
+
+  auto gas_at = [&](uint64_t ts, const U256& price, const U256& count) {
+    StateDb s(&world_.trie(), root);
+    s.SetStorage(feed, PriceFeed::PriceSlot(U256(3'990'300)), price);
+    s.SetStorage(feed, PriceFeed::CountSlot(U256(3'990'300)), count);
+    Hash r = s.Commit();
+    StateDb exec(&world_.trie(), r);
+    BlockContext ctx = world_.block();
+    ctx.timestamp = ts;
+    Evm evm(&exec, ctx);
+    ExecResult result = evm.ExecuteTransaction(tx);
+    EXPECT_TRUE(result.ok());
+    return result.gas_used;
+  };
+  uint64_t g1 = gas_at(3'990'462, U256(2000), U256(4));
+  uint64_t g2 = gas_at(3'990'478, U256(2010), U256(6));  // same path, other context
+  uint64_t g3 = gas_at(3'990'599, U256(1), U256(1));
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(g1, g3);
+}
+
+TEST_F(BuilderEdgeTest, FailedInnerCallDiscardsItsLog) {
+  // Callee emits a log then reverts; the AP must not commit that log.
+  Address callee = world_.DeployAsm(200, R"(
+    PUSH 0x99
+    PUSH 0
+    MSTORE
+    PUSH 7
+    PUSH 32
+    PUSH 0
+    LOG1
+    PUSH 0
+    PUSH 0
+    REVERT
+  )");
+  std::string caller_src = R"(
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH )" + callee.ToU256().ToHex() + R"(
+    GAS
+    CALL
+    POP
+    PUSH 5
+    PUSH 0
+    SSTORE
+    STOP
+  )";
+  Address caller = world_.DeployAsm(100, caller_src);
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(user_, caller, {});
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  ASSERT_TRUE(synth.speculated.ok());
+  EXPECT_TRUE(synth.speculated.logs.empty());
+  StateDb check(&world_.trie(), root);
+  ApRunResult run = synth.ap.Execute(&check, world_.block());
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_TRUE(run.result.logs.empty());
+  EXPECT_EQ(check.GetStorage(caller, U256(0)), U256(5));
+  EXPECT_EQ(check.GetStorage(callee, U256(0)), U256());
+  ExpectEquivalent(&world_.trie(), root, world_.block(), tx, synth.ap);
+}
+
+TEST_F(BuilderEdgeTest, ValueBearingCallToEoaTransfers) {
+  // Contract forwards its CALLVALUE to a hardcoded EOA.
+  Address payee = Address::FromId(77);
+  std::string src = R"(
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    CALLVALUE
+    PUSH )" + payee.ToU256().ToHex() + R"(
+    GAS
+    CALL
+    POP
+    STOP
+  )";
+  Address contract = world_.DeployAsm(100, src);
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(user_, contract, {}, U256(12345));
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  StateDb check(&world_.trie(), root);
+  ApRunResult run = synth.ap.Execute(&check, world_.block());
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_EQ(check.GetBalance(payee), U256(12345));
+  EXPECT_EQ(check.GetBalance(contract), U256());
+  ExpectEquivalent(&world_.trie(), root, world_.block(), tx, synth.ap);
+}
+
+}  // namespace
+}  // namespace frn

@@ -1,0 +1,470 @@
+#include "src/contracts/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/keccak.h"
+#include "tests/test_util.h"
+
+namespace frn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PriceFeed: reproduces the paper's §4.2 scenarios FC1-FC4 (Figure 5).
+// ---------------------------------------------------------------------------
+class PriceFeedTest : public ::testing::Test {
+ protected:
+  PriceFeedTest() {
+    feed_ = world_.Deploy(50, PriceFeed::Code());
+    observer_ = world_.Fund(1);
+  }
+
+  ExecResult Submit(const U256& rid, const U256& price) {
+    return world_.Run(world_.MakeTx(observer_, feed_, PriceFeed::SubmitCall(rid, price)));
+  }
+
+  U256 StoredPrice(const U256& rid) {
+    return world_.state().GetStorage(feed_, PriceFeed::PriceSlot(rid));
+  }
+  U256 StoredCount(const U256& rid) {
+    return world_.state().GetStorage(feed_, PriceFeed::CountSlot(rid));
+  }
+  U256 ActiveRound() { return world_.state().GetStorage(feed_, U256(0)); }
+
+  TestWorld world_;
+  Address feed_;
+  Address observer_;
+};
+
+TEST_F(PriceFeedTest, WrongRoundReverts) {
+  world_.block().timestamp = 3'990'462;  // round 3990300
+  EXPECT_EQ(Submit(U256(3'990'000), U256(1980)).status, ExecStatus::kReverted);
+}
+
+TEST_F(PriceFeedTest, NewRoundBranchFc4) {
+  // FC4: activeRoundID (3990000) < roundID, fresh round is opened.
+  world_.block().timestamp = 3'990'478;
+  world_.state().SetStorage(feed_, U256(0), U256(3'990'000));
+  ASSERT_TRUE(Submit(U256(3'990'300), U256(1980)).ok());
+  EXPECT_EQ(ActiveRound(), U256(3'990'300));
+  EXPECT_EQ(StoredPrice(U256(3'990'300)), U256(1980));
+  EXPECT_EQ(StoredCount(U256(3'990'300)), U256(1));
+}
+
+TEST_F(PriceFeedTest, AggregateBranchFc1) {
+  // FC1: active round already 3990300 with price 2000 over 4 submissions;
+  // a new submission of 1980 moves the average to 1996 with count 5.
+  world_.block().timestamp = 3'990'462;
+  U256 rid(3'990'300);
+  world_.state().SetStorage(feed_, U256(0), rid);
+  world_.state().SetStorage(feed_, PriceFeed::PriceSlot(rid), U256(2000));
+  world_.state().SetStorage(feed_, PriceFeed::CountSlot(rid), U256(4));
+  ASSERT_TRUE(Submit(rid, U256(1980)).ok());
+  EXPECT_EQ(StoredPrice(rid), U256(1996));  // (2000*4 + 1980) / 5
+  EXPECT_EQ(StoredCount(rid), U256(5));
+}
+
+TEST_F(PriceFeedTest, AggregateBranchFc2DifferentOrdering) {
+  // FC2: an interleaved submission changed the state first (price 2010 x6);
+  // the same transaction then produces 2005 with count 7.
+  world_.block().timestamp = 3'990'462;
+  U256 rid(3'990'300);
+  world_.state().SetStorage(feed_, U256(0), rid);
+  world_.state().SetStorage(feed_, PriceFeed::PriceSlot(rid), U256(2010));
+  world_.state().SetStorage(feed_, PriceFeed::CountSlot(rid), U256(6));
+  ASSERT_TRUE(Submit(rid, U256(1980)).ok());
+  EXPECT_EQ(StoredPrice(rid), U256(2005));  // (2010*6 + 1980) / 7
+  EXPECT_EQ(StoredCount(rid), U256(7));
+}
+
+TEST_F(PriceFeedTest, TimestampVariationFc3SamePath) {
+  // FC3: different timestamp within the same round follows the same path.
+  world_.block().timestamp = 3'990'478;
+  U256 rid(3'990'300);
+  world_.state().SetStorage(feed_, U256(0), rid);
+  world_.state().SetStorage(feed_, PriceFeed::PriceSlot(rid), U256(2000));
+  world_.state().SetStorage(feed_, PriceFeed::CountSlot(rid), U256(4));
+  ASSERT_TRUE(Submit(rid, U256(1980)).ok());
+  EXPECT_EQ(StoredPrice(rid), U256(1996));
+  EXPECT_EQ(StoredCount(rid), U256(5));
+}
+
+TEST_F(PriceFeedTest, LatestReturnsActiveAverage) {
+  world_.block().timestamp = 3'990'462;
+  U256 rid(3'990'300);
+  ASSERT_TRUE(Submit(rid, U256(1990)).ok());
+  ASSERT_TRUE(Submit(rid, U256(2010)).ok());
+  ExecResult r = world_.Run(world_.MakeTx(observer_, feed_, EncodeCall(PriceFeed::kLatest, {})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::FromBigEndian(r.return_data.data(), 32), U256(2000));
+}
+
+// ---------------------------------------------------------------------------
+// Token
+// ---------------------------------------------------------------------------
+class TokenTest : public ::testing::Test {
+ protected:
+  TokenTest() {
+    token_ = world_.Deploy(60, Token::Code());
+    alice_ = world_.Fund(1);
+    bob_ = world_.Fund(2);
+    carol_ = world_.Fund(3);
+    Mint(alice_, U256(1'000'000));
+  }
+
+  void Mint(const Address& to, const U256& amount) {
+    ASSERT_TRUE(world_
+                    .Run(world_.MakeTx(alice_, token_,
+                                       EncodeCall(Token::kMint, {to.ToU256(), amount})))
+                    .ok());
+  }
+
+  U256 BalanceOf(const Address& who) {
+    return world_.state().GetStorage(token_, Token::BalanceSlot(who));
+  }
+
+  TestWorld world_;
+  Address token_;
+  Address alice_;
+  Address bob_;
+  Address carol_;
+};
+
+TEST_F(TokenTest, MintCreditsAndTracksSupply) {
+  EXPECT_EQ(BalanceOf(alice_), U256(1'000'000));
+  EXPECT_EQ(world_.state().GetStorage(token_, U256(2)), U256(1'000'000));
+  Mint(bob_, U256(500));
+  EXPECT_EQ(BalanceOf(bob_), U256(500));
+  EXPECT_EQ(world_.state().GetStorage(token_, U256(2)), U256(1'000'500));
+}
+
+TEST_F(TokenTest, TransferMovesBalanceAndLogs) {
+  ExecResult r = world_.Run(world_.MakeTx(
+      alice_, token_, EncodeCall(Token::kTransfer, {bob_.ToU256(), U256(250)})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(BalanceOf(alice_), U256(999'750));
+  EXPECT_EQ(BalanceOf(bob_), U256(250));
+  ASSERT_EQ(r.logs.size(), 1u);
+  EXPECT_EQ(r.logs[0].topics[0], Token::TransferTopic());
+  EXPECT_EQ(r.logs[0].topics[1], alice_.ToU256());
+  EXPECT_EQ(r.logs[0].topics[2], bob_.ToU256());
+  EXPECT_EQ(U256::FromBigEndian(r.logs[0].data.data(), 32), U256(250));
+}
+
+TEST_F(TokenTest, TransferInsufficientBalanceReverts) {
+  ExecResult r = world_.Run(world_.MakeTx(
+      bob_, token_, EncodeCall(Token::kTransfer, {carol_.ToU256(), U256(1)})));
+  EXPECT_EQ(r.status, ExecStatus::kReverted);
+  EXPECT_EQ(BalanceOf(carol_), U256());
+}
+
+TEST_F(TokenTest, BalanceOfReturnsValue) {
+  ExecResult r = world_.Run(
+      world_.MakeTx(bob_, token_, EncodeCall(Token::kBalanceOf, {alice_.ToU256()})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::FromBigEndian(r.return_data.data(), 32), U256(1'000'000));
+}
+
+TEST_F(TokenTest, ApproveThenTransferFrom) {
+  ASSERT_TRUE(world_
+                  .Run(world_.MakeTx(alice_, token_,
+                                     EncodeCall(Token::kApprove, {bob_.ToU256(), U256(400)})))
+                  .ok());
+  ExecResult r = world_.Run(world_.MakeTx(
+      bob_, token_,
+      EncodeCall(Token::kTransferFrom, {alice_.ToU256(), carol_.ToU256(), U256(150)})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(BalanceOf(alice_), U256(999'850));
+  EXPECT_EQ(BalanceOf(carol_), U256(150));
+  // Allowance decremented: a second pull over the limit fails.
+  ExecResult r2 = world_.Run(world_.MakeTx(
+      bob_, token_,
+      EncodeCall(Token::kTransferFrom, {alice_.ToU256(), carol_.ToU256(), U256(300)})));
+  EXPECT_EQ(r2.status, ExecStatus::kReverted);
+}
+
+TEST_F(TokenTest, TransferFromWithoutApprovalReverts) {
+  ExecResult r = world_.Run(world_.MakeTx(
+      bob_, token_,
+      EncodeCall(Token::kTransferFrom, {alice_.ToU256(), carol_.ToU256(), U256(1)})));
+  EXPECT_EQ(r.status, ExecStatus::kReverted);
+}
+
+// ---------------------------------------------------------------------------
+// AmmPair
+// ---------------------------------------------------------------------------
+class AmmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    token0_ = world_.Deploy(70, Token::Code());
+    token1_ = world_.Deploy(71, Token::Code());
+    pair_ = Address::FromId(72);
+    trader_ = world_.Fund(1);
+    lp_ = world_.Fund(2);
+    AmmPair::Deploy(&world_.state(), pair_, token0_, token1_);
+    // Seed balances and unlimited approvals.
+    U256 big = U256::Exp(U256(10), U256(12));
+    MintOn(token0_, lp_, big);
+    MintOn(token1_, lp_, big);
+    MintOn(token0_, trader_, big);
+    MintOn(token1_, trader_, big);
+    Approve(token0_, lp_);
+    Approve(token1_, lp_);
+    Approve(token0_, trader_);
+    Approve(token1_, trader_);
+    // 1M : 1M initial liquidity.
+    ASSERT_TRUE(world_
+                    .Run(world_.MakeTx(lp_, pair_,
+                                       EncodeCall(AmmPair::kAddLiquidity,
+                                                  {U256(1'000'000), U256(1'000'000)})))
+                    .ok());
+  }
+
+  void MintOn(const Address& token, const Address& to, const U256& amount) {
+    ASSERT_TRUE(world_
+                    .Run(world_.MakeTx(lp_.IsZero() ? trader_ : lp_, token,
+                                       EncodeCall(Token::kMint, {to.ToU256(), amount})))
+                    .ok());
+  }
+
+  void Approve(const Address& token, const Address& owner) {
+    ASSERT_TRUE(world_
+                    .Run(world_.MakeTx(owner, token,
+                                       EncodeCall(Token::kApprove,
+                                                  {pair_.ToU256(), ~U256()})))
+                    .ok());
+  }
+
+  U256 Reserve(int i) { return world_.state().GetStorage(pair_, U256(2 + i)); }
+  U256 BalanceOn(const Address& token, const Address& who) {
+    return world_.state().GetStorage(token, Token::BalanceSlot(who));
+  }
+
+  TestWorld world_;
+  Address token0_;
+  Address token1_;
+  Address pair_;
+  Address trader_;
+  Address lp_;
+};
+
+TEST_F(AmmTest, AddLiquiditySetsReserves) {
+  EXPECT_EQ(Reserve(0), U256(1'000'000));
+  EXPECT_EQ(Reserve(1), U256(1'000'000));
+  EXPECT_EQ(BalanceOn(token0_, pair_), U256(1'000'000));
+  EXPECT_EQ(BalanceOn(token1_, pair_), U256(1'000'000));
+}
+
+TEST_F(AmmTest, SwapZeroForOneConstantProduct) {
+  U256 before0 = BalanceOn(token0_, trader_);
+  U256 before1 = BalanceOn(token1_, trader_);
+  ExecResult r = world_.Run(
+      world_.MakeTx(trader_, pair_, EncodeCall(AmmPair::kSwap, {U256(10'000), U256(1)})));
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  // out = rout*in/(rin+in) = 1e6*1e4/(1e6+1e4) = 9900 (integer division)
+  U256 out = U256::FromBigEndian(r.return_data.data(), 32);
+  EXPECT_EQ(out, U256(9900));
+  EXPECT_EQ(Reserve(0), U256(1'010'000));
+  EXPECT_EQ(Reserve(1), U256(990'100));
+  EXPECT_EQ(BalanceOn(token0_, trader_), before0 - U256(10'000));
+  EXPECT_EQ(BalanceOn(token1_, trader_), before1 + U256(9900));
+}
+
+TEST_F(AmmTest, SwapOneForZeroTakesOtherBranch) {
+  ExecResult r = world_.Run(
+      world_.MakeTx(trader_, pair_, EncodeCall(AmmPair::kSwap, {U256(5'000), U256(0)})));
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  U256 out = U256::FromBigEndian(r.return_data.data(), 32);
+  EXPECT_EQ(out, U256(4975));  // 1e6*5e3/(1e6+5e3)
+  EXPECT_EQ(Reserve(1), U256(1'005'000));
+  EXPECT_EQ(Reserve(0), U256(995'025));
+}
+
+TEST_F(AmmTest, SwapWithoutApprovalReverts) {
+  Address outsider = world_.Fund(9);
+  MintOn(token0_, outsider, U256(100'000));
+  ExecResult r = world_.Run(
+      world_.MakeTx(outsider, pair_, EncodeCall(AmmPair::kSwap, {U256(1'000), U256(1)})));
+  EXPECT_EQ(r.status, ExecStatus::kReverted);
+  EXPECT_EQ(Reserve(0), U256(1'000'000));  // untouched
+}
+
+// ---------------------------------------------------------------------------
+// Lottery
+// ---------------------------------------------------------------------------
+TEST(LotteryTest, EnterRequiresExactTicket) {
+  TestWorld world;
+  Address lottery = world.Deploy(80, Lottery::Code());
+  Address player = world.Fund(1);
+  ExecResult wrong = world.Run(
+      world.MakeTx(player, lottery, EncodeCall(Lottery::kEnter, {}), U256(1)));
+  EXPECT_EQ(wrong.status, ExecStatus::kReverted);
+  ExecResult right = world.Run(world.MakeTx(player, lottery, EncodeCall(Lottery::kEnter, {}),
+                                            U256(Lottery::kTicketWei)));
+  ASSERT_TRUE(right.ok());
+  EXPECT_EQ(world.state().GetStorage(lottery, U256(0)), U256(1));
+}
+
+TEST(LotteryTest, DrawPaysWholePotToAPlayer) {
+  TestWorld world;
+  Address lottery = world.Deploy(80, Lottery::Code());
+  std::vector<Address> players;
+  for (uint64_t i = 1; i <= 3; ++i) {
+    Address p = world.Fund(i);
+    players.push_back(p);
+    ASSERT_TRUE(world
+                    .Run(world.MakeTx(p, lottery, EncodeCall(Lottery::kEnter, {}),
+                                      U256(Lottery::kTicketWei)))
+                    .ok());
+  }
+  U256 pot = world.state().GetBalance(lottery);
+  EXPECT_EQ(pot, U256(3 * Lottery::kTicketWei));
+  std::vector<U256> balances_before;
+  for (const auto& p : players) {
+    balances_before.push_back(world.state().GetBalance(p));
+  }
+  Address caller = world.Fund(99);
+  ASSERT_TRUE(world.Run(world.MakeTx(caller, lottery, EncodeCall(Lottery::kDraw, {}))).ok());
+  EXPECT_EQ(world.state().GetBalance(lottery), U256());
+  EXPECT_EQ(world.state().GetStorage(lottery, U256(0)), U256());  // reset
+  int winners = 0;
+  for (size_t i = 0; i < players.size(); ++i) {
+    if (world.state().GetBalance(players[i]) == balances_before[i] + pot) {
+      ++winners;
+    }
+  }
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(LotteryTest, WinnerDependsOnBlockHeader) {
+  // Two different timestamps can select different winners — the block-header
+  // dependence Forerunner's multi-future predictor has to cope with.
+  auto winner_for = [](uint64_t timestamp) -> Address {
+    TestWorld world;
+    world.block().timestamp = timestamp;
+    Address lottery = world.Deploy(80, Lottery::Code());
+    std::vector<Address> players;
+    for (uint64_t i = 1; i <= 8; ++i) {
+      Address p = world.Fund(i);
+      players.push_back(p);
+      EXPECT_TRUE(world
+                      .Run(world.MakeTx(p, lottery, EncodeCall(Lottery::kEnter, {}),
+                                        U256(Lottery::kTicketWei)))
+                      .ok());
+    }
+    std::vector<U256> before;
+    for (const auto& p : players) {
+      before.push_back(world.state().GetBalance(p));
+    }
+    Address caller = world.Fund(99);
+    EXPECT_TRUE(world.Run(world.MakeTx(caller, lottery, EncodeCall(Lottery::kDraw, {}))).ok());
+    for (size_t i = 0; i < players.size(); ++i) {
+      if (world.state().GetBalance(players[i]) > before[i]) {
+        return players[i];
+      }
+    }
+    return Address();
+  };
+  // Scan a few timestamps until two disagree (overwhelmingly likely).
+  Address first = winner_for(1'000'000);
+  bool found_different = false;
+  for (uint64_t t = 1'000'001; t < 1'000'020; ++t) {
+    if (winner_for(t) != first) {
+      found_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_different);
+}
+
+TEST(LotteryTest, DrawOnEmptyReverts) {
+  TestWorld world;
+  Address lottery = world.Deploy(80, Lottery::Code());
+  Address caller = world.Fund(1);
+  EXPECT_EQ(world.Run(world.MakeTx(caller, lottery, EncodeCall(Lottery::kDraw, {}))).status,
+            ExecStatus::kReverted);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + Hasher
+// ---------------------------------------------------------------------------
+TEST(RegistryTest, SetThenGet) {
+  TestWorld world;
+  Address registry = world.Deploy(90, Registry::Code());
+  Address user = world.Fund(1);
+  ASSERT_TRUE(world
+                  .Run(world.MakeTx(user, registry,
+                                    EncodeCall(Registry::kSet, {U256(42), U256(4242)})))
+                  .ok());
+  ExecResult r =
+      world.Run(world.MakeTx(user, registry, EncodeCall(Registry::kGet, {U256(42)})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::FromBigEndian(r.return_data.data(), 32), U256(4242));
+  ExecResult missing =
+      world.Run(world.MakeTx(user, registry, EncodeCall(Registry::kGet, {U256(43)})));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(U256::FromBigEndian(missing.return_data.data(), 32), U256());
+}
+
+TEST(HasherTest, IteratedKeccakMatchesLibrary) {
+  TestWorld world;
+  Address hasher = world.Deploy(95, Hasher::Code());
+  Address user = world.Fund(1);
+  ExecResult r = world.Run(
+      world.MakeTx(user, hasher, EncodeCall(Hasher::kRun, {U256(5), U256(1234)})));
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  U256 expected(1234);
+  for (int i = 0; i < 5; ++i) {
+    expected = Keccak256Word(expected).ToU256();
+  }
+  EXPECT_EQ(U256::FromBigEndian(r.return_data.data(), 32), expected);
+  EXPECT_EQ(world.state().GetStorage(hasher, U256(0)), expected);
+}
+
+TEST(HasherTest, StatefulRunMixesStorage) {
+  TestWorld world;
+  Address hasher = world.Deploy(95, Hasher::Code());
+  Hasher::SeedState(&world.state(), hasher);
+  Address user = world.Fund(1);
+  ExecResult r = world.Run(
+      world.MakeTx(user, hasher, EncodeCall(Hasher::kRunStateful, {U256(8), U256(77)})));
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  // Reference computation of the state-mixing loop.
+  U256 h(77);
+  for (int i = 0; i < 8; ++i) {
+    U256 slot = (h & U256(63)) + U256(1);
+    U256 v = Keccak256Word(slot).ToU256();  // the seeded value
+    h = Keccak256Word(h ^ v).ToU256();
+  }
+  EXPECT_EQ(U256::FromBigEndian(r.return_data.data(), 32), h);
+  // Changing the first mixed-in slot (1 + (seed & 63)) changes the digest.
+  world.state().SetStorage(hasher, (U256(77) & U256(63)) + U256(1), U256(123));
+  ExecResult r2 = world.Run(
+      world.MakeTx(user, hasher, EncodeCall(Hasher::kRunStateful, {U256(8), U256(77)})));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r2.return_data, r.return_data);
+}
+
+TEST(HasherTest, GasScalesWithIterations) {
+  TestWorld world;
+  Address hasher = world.Deploy(95, Hasher::Code());
+  Address user = world.Fund(1);
+  ExecResult r10 = world.Run(
+      world.MakeTx(user, hasher, EncodeCall(Hasher::kRun, {U256(10), U256(1)})));
+  ExecResult r100 = world.Run(
+      world.MakeTx(user, hasher, EncodeCall(Hasher::kRun, {U256(100), U256(1)})));
+  ASSERT_TRUE(r10.ok());
+  ASSERT_TRUE(r100.ok());
+  EXPECT_GT(r100.gas_used, r10.gas_used + 5'000);
+}
+
+TEST(ContractsTest, EncodeCallLayout) {
+  Bytes data = EncodeCall(0x01020304, {U256(5), U256(6)});
+  ASSERT_EQ(data.size(), 68u);
+  EXPECT_EQ(data[0], 0x01);
+  EXPECT_EQ(data[3], 0x04);
+  EXPECT_EQ(data[35], 5);
+  EXPECT_EQ(data[67], 6);
+}
+
+}  // namespace
+}  // namespace frn

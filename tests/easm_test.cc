@@ -1,0 +1,106 @@
+#include "src/easm/easm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/evm/opcodes.h"
+
+namespace frn {
+namespace {
+
+TEST(EasmTest, SimplePushSequence) {
+  Bytes code = Assemble("PUSH 1\nPUSH 2\nADD\nSTOP");
+  EXPECT_EQ(code, (Bytes{0x60, 0x01, 0x60, 0x02, 0x01, 0x00}));
+}
+
+TEST(EasmTest, AutoSizedPushWidths) {
+  EXPECT_EQ(Assemble("PUSH 0"), (Bytes{0x60, 0x00}));
+  EXPECT_EQ(Assemble("PUSH 255"), (Bytes{0x60, 0xff}));
+  EXPECT_EQ(Assemble("PUSH 256"), (Bytes{0x61, 0x01, 0x00}));
+  EXPECT_EQ(Assemble("PUSH 0xffffffff"), (Bytes{0x63, 0xff, 0xff, 0xff, 0xff}));
+}
+
+TEST(EasmTest, ExplicitPushWidth) {
+  EXPECT_EQ(Assemble("PUSH2 0x01"), (Bytes{0x61, 0x00, 0x01}));
+  EXPECT_THROW(Assemble("PUSH1 0x1234"), AsmError);
+}
+
+TEST(EasmTest, ThirtyTwoBytePush) {
+  Bytes code = Assemble(
+      "PUSH 0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef");
+  ASSERT_EQ(code.size(), 33u);
+  EXPECT_EQ(code[0], 0x7f);  // PUSH32
+  EXPECT_EQ(code[1], 0xdd);
+  EXPECT_EQ(code[32], 0xef);
+}
+
+TEST(EasmTest, LabelsEmitJumpdestAndResolve) {
+  Bytes code = Assemble(R"(
+    PUSH @target
+    JUMP
+  target:
+    STOP
+  )");
+  // PUSH2 <addr> JUMP JUMPDEST STOP
+  ASSERT_EQ(code.size(), 6u);
+  EXPECT_EQ(code[0], 0x61);
+  size_t target = (static_cast<size_t>(code[1]) << 8) | code[2];
+  EXPECT_EQ(target, 4u);
+  EXPECT_EQ(code[4], static_cast<uint8_t>(Opcode::kJumpdest));
+  EXPECT_EQ(code[5], static_cast<uint8_t>(Opcode::kStop));
+}
+
+TEST(EasmTest, ForwardAndBackwardLabels) {
+  Bytes code = Assemble(R"(
+  start:
+    PUSH @end
+    JUMP
+    PUSH @start
+    JUMP
+  end:
+    STOP
+  )");
+  EXPECT_FALSE(code.empty());
+}
+
+TEST(EasmTest, CommentsAndBlankLines) {
+  Bytes code = Assemble(R"(
+    ; full line comment
+    PUSH 1   ; trailing comment
+    // another style
+
+    POP
+  )");
+  EXPECT_EQ(code, (Bytes{0x60, 0x01, 0x50}));
+}
+
+TEST(EasmTest, Errors) {
+  EXPECT_THROW(Assemble("FROBNICATE"), AsmError);
+  EXPECT_THROW(Assemble("PUSH"), AsmError);
+  EXPECT_THROW(Assemble("PUSH @nowhere"), AsmError);
+  EXPECT_THROW(Assemble("dup: STOP\ndup: STOP"), AsmError);
+}
+
+TEST(EasmTest, DisassembleRoundTripMnemonics) {
+  Bytes code = Assemble("PUSH 0x42\nDUP1\nMUL\nSTOP");
+  std::string text = Disassemble(code);
+  EXPECT_NE(text.find("PUSH1 0x42"), std::string::npos);
+  EXPECT_NE(text.find("DUP1"), std::string::npos);
+  EXPECT_NE(text.find("MUL"), std::string::npos);
+  EXPECT_NE(text.find("STOP"), std::string::npos);
+}
+
+TEST(EasmTest, AllDefinedMnemonicsAssemble) {
+  // Every named opcode in the table round-trips through the assembler.
+  for (int b = 0; b < 256; ++b) {
+    const OpcodeInfo& info = GetOpcodeInfo(static_cast<uint8_t>(b));
+    if (!info.defined || IsPush(static_cast<uint8_t>(b))) {
+      continue;
+    }
+    Bytes code = Assemble(std::string(info.name));
+    ASSERT_EQ(code.size(), 1u) << info.name;
+    EXPECT_EQ(code[0], static_cast<uint8_t>(b)) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace frn

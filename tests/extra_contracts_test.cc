@@ -1,0 +1,300 @@
+// Tests for the second contract family (NFT, auction, multisig), including
+// AP equivalence for their interesting control-flow patterns: block-number
+// deadlines, loser refunds, owner-set membership checks and threshold
+// execution.
+#include "src/contracts/extra_contracts.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ap.h"
+#include "src/core/trace_builder.h"
+#include "tests/test_util.h"
+
+namespace frn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Nft
+// ---------------------------------------------------------------------------
+
+class NftTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice_ = world_.Fund(1);
+    bob_ = world_.Fund(2);
+    nft_ = world_.Deploy(300, Nft::Code());
+  }
+
+  ExecResult Mint(const Address& to) {
+    return world_.Run(world_.MakeTx(alice_, nft_, EncodeCall(Nft::kMint, {to.ToU256()})));
+  }
+
+  TestWorld world_;
+  Address alice_, bob_, nft_;
+};
+
+TEST_F(NftTest, MintAssignsSequentialIds) {
+  ASSERT_TRUE(Mint(alice_).ok());
+  ASSERT_TRUE(Mint(bob_).ok());
+  EXPECT_EQ(world_.state().GetStorage(nft_, Nft::OwnerSlot(U256(0))), alice_.ToU256());
+  EXPECT_EQ(world_.state().GetStorage(nft_, Nft::OwnerSlot(U256(1))), bob_.ToU256());
+  EXPECT_EQ(world_.state().GetStorage(nft_, U256(2)), U256(2));  // next id
+  EXPECT_EQ(world_.state().GetStorage(nft_, Nft::BalanceSlot(alice_)), U256(1));
+}
+
+TEST_F(NftTest, TransferMovesOwnershipAndLogs) {
+  ASSERT_TRUE(Mint(alice_).ok());
+  ExecResult r = world_.Run(world_.MakeTx(
+      alice_, nft_, EncodeCall(Nft::kTransfer, {bob_.ToU256(), U256(0)})));
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  EXPECT_EQ(world_.state().GetStorage(nft_, Nft::OwnerSlot(U256(0))), bob_.ToU256());
+  EXPECT_EQ(world_.state().GetStorage(nft_, Nft::BalanceSlot(alice_)), U256());
+  EXPECT_EQ(world_.state().GetStorage(nft_, Nft::BalanceSlot(bob_)), U256(1));
+  ASSERT_EQ(r.logs.size(), 1u);
+  EXPECT_EQ(U256::FromBigEndian(r.logs[0].data.data(), 32), U256(0));  // token id
+}
+
+TEST_F(NftTest, TransferByNonOwnerReverts) {
+  ASSERT_TRUE(Mint(alice_).ok());
+  ExecResult r = world_.Run(world_.MakeTx(
+      bob_, nft_, EncodeCall(Nft::kTransfer, {bob_.ToU256(), U256(0)})));
+  EXPECT_EQ(r.status, ExecStatus::kReverted);
+  EXPECT_EQ(world_.state().GetStorage(nft_, Nft::OwnerSlot(U256(0))), alice_.ToU256());
+}
+
+TEST_F(NftTest, OwnerOfReturnsHolder) {
+  ASSERT_TRUE(Mint(bob_).ok());
+  ExecResult r =
+      world_.Run(world_.MakeTx(alice_, nft_, EncodeCall(Nft::kOwnerOf, {U256(0)})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::FromBigEndian(r.return_data.data(), 32), bob_.ToU256());
+}
+
+// ---------------------------------------------------------------------------
+// Auction
+// ---------------------------------------------------------------------------
+
+class AuctionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    seller_ = world_.Fund(1);
+    bidder1_ = world_.Fund(2);
+    bidder2_ = world_.Fund(3);
+    auction_ = Address::FromId(400);
+    Auction::Deploy(&world_.state(), auction_, seller_, /*end_block=*/2000);
+    world_.block().number = 1000;  // auction open
+  }
+
+  ExecResult Bid(const Address& bidder, uint64_t amount) {
+    return world_.Run(
+        world_.MakeTx(bidder, auction_, EncodeCall(Auction::kBid, {}), U256(amount)));
+  }
+
+  TestWorld world_;
+  Address seller_, bidder1_, bidder2_, auction_;
+};
+
+TEST_F(AuctionTest, FirstBidSetsHighest) {
+  ASSERT_TRUE(Bid(bidder1_, 1000).ok());
+  EXPECT_EQ(world_.state().GetStorage(auction_, U256(0)), U256(1000));
+  EXPECT_EQ(world_.state().GetStorage(auction_, U256(1)), bidder1_.ToU256());
+  EXPECT_EQ(world_.state().GetBalance(auction_), U256(1000));
+}
+
+TEST_F(AuctionTest, HigherBidRefundsLoser) {
+  ASSERT_TRUE(Bid(bidder1_, 1000).ok());
+  U256 bidder1_before = world_.state().GetBalance(bidder1_);
+  ASSERT_TRUE(Bid(bidder2_, 2000).ok());
+  EXPECT_EQ(world_.state().GetStorage(auction_, U256(1)), bidder2_.ToU256());
+  EXPECT_EQ(world_.state().GetBalance(auction_), U256(2000));
+  EXPECT_EQ(world_.state().GetBalance(bidder1_), bidder1_before + U256(1000));
+}
+
+TEST_F(AuctionTest, LowBidReverts) {
+  ASSERT_TRUE(Bid(bidder1_, 1000).ok());
+  EXPECT_EQ(Bid(bidder2_, 500).status, ExecStatus::kReverted);
+}
+
+TEST_F(AuctionTest, BidAfterDeadlineReverts) {
+  world_.block().number = 2000;  // deadline reached
+  EXPECT_EQ(Bid(bidder1_, 1000).status, ExecStatus::kReverted);
+}
+
+TEST_F(AuctionTest, SettlePaysBeneficiaryOnce) {
+  ASSERT_TRUE(Bid(bidder1_, 5000).ok());
+  // Too early.
+  EXPECT_EQ(world_.Run(world_.MakeTx(bidder2_, auction_, EncodeCall(Auction::kSettle, {})))
+                .status,
+            ExecStatus::kReverted);
+  world_.block().number = 2001;
+  U256 seller_before = world_.state().GetBalance(seller_);
+  ASSERT_TRUE(
+      world_.Run(world_.MakeTx(bidder2_, auction_, EncodeCall(Auction::kSettle, {}))).ok());
+  EXPECT_EQ(world_.state().GetBalance(seller_), seller_before + U256(5000));
+  // Double settle rejected.
+  EXPECT_EQ(world_.Run(world_.MakeTx(bidder1_, auction_, EncodeCall(Auction::kSettle, {})))
+                .status,
+            ExecStatus::kReverted);
+}
+
+// ---------------------------------------------------------------------------
+// Multisig
+// ---------------------------------------------------------------------------
+
+class MultisigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    owner0_ = world_.Fund(1);
+    owner1_ = world_.Fund(2);
+    owner2_ = world_.Fund(3);
+    outsider_ = world_.Fund(4);
+    payee_ = Address::FromId(5);
+    wallet_ = Address::FromId(500);
+    Multisig::Deploy(&world_.state(), wallet_, owner0_, owner1_, owner2_);
+    world_.state().AddBalance(wallet_, U256(1'000'000));
+  }
+
+  ExecResult Propose(const Address& by, const Address& to, uint64_t amount) {
+    return world_.Run(world_.MakeTx(
+        by, wallet_, EncodeCall(Multisig::kPropose, {to.ToU256(), U256(amount)})));
+  }
+  ExecResult Confirm(const Address& by, uint64_t id) {
+    return world_.Run(
+        world_.MakeTx(by, wallet_, EncodeCall(Multisig::kConfirm, {U256(id)})));
+  }
+
+  TestWorld world_;
+  Address owner0_, owner1_, owner2_, outsider_, payee_, wallet_;
+};
+
+TEST_F(MultisigTest, ProposeReturnsSequentialIds) {
+  ExecResult r0 = Propose(owner0_, payee_, 100);
+  ASSERT_TRUE(r0.ok()) << ExecStatusName(r0.status);
+  EXPECT_EQ(U256::FromBigEndian(r0.return_data.data(), 32), U256(0));
+  ExecResult r1 = Propose(owner1_, payee_, 200);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(U256::FromBigEndian(r1.return_data.data(), 32), U256(1));
+  EXPECT_EQ(world_.state().GetStorage(wallet_, Multisig::ProposalToSlot(U256(0))),
+            payee_.ToU256());
+  EXPECT_EQ(world_.state().GetStorage(wallet_, Multisig::ProposalAmountSlot(U256(1))),
+            U256(200));
+}
+
+TEST_F(MultisigTest, OutsiderCannotProposeOrConfirm) {
+  EXPECT_EQ(Propose(outsider_, payee_, 100).status, ExecStatus::kReverted);
+  ASSERT_TRUE(Propose(owner0_, payee_, 100).ok());
+  EXPECT_EQ(Confirm(outsider_, 0).status, ExecStatus::kReverted);
+}
+
+TEST_F(MultisigTest, ThresholdExecutesTransferExactlyOnce) {
+  ASSERT_TRUE(Propose(owner0_, payee_, 777).ok());
+  ASSERT_TRUE(Confirm(owner0_, 0).ok());
+  EXPECT_EQ(world_.state().GetBalance(payee_), U256());  // 1 of 2
+  ASSERT_TRUE(Confirm(owner1_, 0).ok());
+  EXPECT_EQ(world_.state().GetBalance(payee_), U256(777));  // executed
+  EXPECT_EQ(world_.state().GetStorage(wallet_, Multisig::ExecutedSlot(U256(0))), U256(1));
+  // A third confirmation does not double-pay.
+  ASSERT_TRUE(Confirm(owner2_, 0).ok());
+  EXPECT_EQ(world_.state().GetBalance(payee_), U256(777));
+}
+
+TEST_F(MultisigTest, DoubleConfirmReverts) {
+  ASSERT_TRUE(Propose(owner0_, payee_, 10).ok());
+  ASSERT_TRUE(Confirm(owner0_, 0).ok());
+  EXPECT_EQ(Confirm(owner0_, 0).status, ExecStatus::kReverted);
+}
+
+// ---------------------------------------------------------------------------
+// Speculation over the new families
+// ---------------------------------------------------------------------------
+
+struct Synth {
+  bool ok = false;
+  std::string reason;
+  Ap ap;
+};
+
+Synth Build(Mpt* trie, const Hash& root, const BlockContext& ctx, const Transaction& tx) {
+  Synth out;
+  StateDb scratch(trie, root);
+  TraceBuilder builder(tx, &scratch);
+  Evm evm(&scratch, ctx);
+  ExecResult r = evm.ExecuteTransaction(tx, &builder);
+  LinearIr ir;
+  if (!builder.Finalize(r, &ir)) {
+    out.reason = builder.failed_reason();
+    return out;
+  }
+  out.ap = Ap::Build(std::move(ir));
+  out.ok = true;
+  return out;
+}
+
+void ExpectEquivalent(Mpt* trie, const Hash& root, const BlockContext& actual,
+                      const Transaction& tx, const Ap& ap, bool expect_satisfied) {
+  StateDb ref_state(trie, root);
+  Evm ref(&ref_state, actual);
+  ExecResult expected = ref.ExecuteTransaction(tx);
+  Hash ref_root = ref_state.Commit();
+  StateDb acc_state(trie, root);
+  ApRunResult run = ap.Execute(&acc_state, actual);
+  ASSERT_EQ(run.satisfied, expect_satisfied);
+  if (run.satisfied) {
+    EXPECT_EQ(run.result, expected);
+    acc_state.SetNonce(tx.sender, tx.nonce + 1);
+    acc_state.SubBalance(tx.sender, U256(run.result.gas_used) * tx.gas_price);
+    acc_state.AddBalance(actual.coinbase, U256(run.result.gas_used) * tx.gas_price);
+  } else {
+    Evm fallback(&acc_state, actual);
+    fallback.ExecuteTransaction(tx);
+  }
+  EXPECT_EQ(acc_state.Commit(), ref_root);
+}
+
+TEST_F(AuctionTest, BidApToleratesBlockNumberDrift) {
+  ASSERT_TRUE(Bid(bidder1_, 1000).ok());
+  Hash root = world_.state().Commit();
+  Transaction tx =
+      world_.MakeTx(bidder2_, auction_, EncodeCall(Auction::kBid, {}), U256(3000));
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  // The deadline comparison (NUMBER < endBlock) holds for nearby blocks: the
+  // constraint set tolerates the drift (CD-Equiv), unlike exact matching.
+  BlockContext later = world_.block();
+  later.number += 5;
+  ExpectEquivalent(&world_.trie(), root, later, tx, synth.ap, /*expect_satisfied=*/true);
+  // Past the deadline the GT guard flips: violation, correct fallback.
+  BlockContext closed = world_.block();
+  closed.number = 2001;
+  ExpectEquivalent(&world_.trie(), root, closed, tx, synth.ap, /*expect_satisfied=*/false);
+}
+
+TEST_F(MultisigTest, ConfirmApCoversThresholdExecution) {
+  ASSERT_TRUE(Propose(owner0_, payee_, 321).ok());
+  ASSERT_TRUE(Confirm(owner0_, 0).ok());
+  Hash root = world_.state().Commit();
+  // The second confirmation triggers the payout CALL to an EOA.
+  Transaction tx = world_.MakeTx(owner1_, wallet_, EncodeCall(Multisig::kConfirm, {U256(0)}));
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  ExpectEquivalent(&world_.trie(), root, world_.block(), tx, synth.ap,
+                   /*expect_satisfied=*/true);
+}
+
+TEST_F(NftTest, MintApImperfectAfterRivalMint) {
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(alice_, nft_, EncodeCall(Nft::kMint, {alice_.ToU256()}));
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  // A rival mint bumps nextId first: the owners[id] slot key is pinned by a
+  // data guard, so the stale AP must be rejected and the fallback correct.
+  StateDb mutate(&world_.trie(), root);
+  mutate.SetStorage(nft_, U256(2), U256(7));
+  mutate.SetStorage(nft_, Nft::OwnerSlot(U256(6)), bob_.ToU256());
+  Hash new_root = mutate.Commit();
+  ExpectEquivalent(&world_.trie(), new_root, world_.block(), tx, synth.ap,
+                   /*expect_satisfied=*/false);
+}
+
+}  // namespace
+}  // namespace frn

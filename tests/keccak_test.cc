@@ -1,0 +1,77 @@
+#include "src/crypto/keccak.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace frn {
+namespace {
+
+Bytes FromString(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// Published Keccak-256 vectors (Ethereum's Keccak, 0x01 padding).
+TEST(KeccakTest, EmptyInput) {
+  EXPECT_EQ(Keccak256(Bytes{}).ToHex(),
+            "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(KeccakTest, Abc) {
+  EXPECT_EQ(Keccak256(FromString("abc")).ToHex(),
+            "0x4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(KeccakTest, HelloWorldEthereumStyle) {
+  // keccak256("hello world") — widely published Solidity test vector.
+  EXPECT_EQ(Keccak256(FromString("hello world")).ToHex(),
+            "0x47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad");
+}
+
+TEST(KeccakTest, TransferSignature) {
+  // The canonical ERC-20 event topic: keccak256("Transfer(address,address,uint256)").
+  EXPECT_EQ(Keccak256(FromString("Transfer(address,address,uint256)")).ToHex(),
+            "0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef");
+}
+
+TEST(KeccakTest, LongInputCrossesRateBoundary) {
+  // 200 bytes of 0xA3: exercises multi-block absorption (rate is 136 bytes).
+  Bytes input(200, 0xA3);
+  Hash h1 = Keccak256(input);
+  // Same input in two spans must agree with one-shot hashing (determinism).
+  Hash h2 = Keccak256(input.data(), input.size());
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, Keccak256(Bytes(199, 0xA3)));
+}
+
+TEST(KeccakTest, ExactlyOneRateBlock) {
+  Bytes input(136, 0x00);
+  // Exercises the case where the padding goes into a second block.
+  Hash h = Keccak256(input);
+  EXPECT_FALSE(h.IsZero());
+  EXPECT_NE(h, Keccak256(Bytes(135, 0x00)));
+  EXPECT_NE(h, Keccak256(Bytes(137, 0x00)));
+}
+
+TEST(KeccakTest, WordHelpers) {
+  // keccak of 32 zero bytes (Solidity: keccak256(abi.encode(uint256(0)))).
+  EXPECT_EQ(Keccak256Word(U256()).ToHex(),
+            "0x290decd9548b62a8d60345a988386fc84ba6bc95484008f6362f93160ef3e563");
+  // Two-word form equals hashing the 64-byte concatenation.
+  Bytes buf(64, 0);
+  buf[31] = 1;
+  buf[63] = 2;
+  EXPECT_EQ(Keccak256TwoWords(U256(1), U256(2)), Keccak256(buf));
+}
+
+TEST(KeccakTest, MappingSlotDerivation) {
+  // Solidity mapping slot: keccak256(key . slot). Spot-check determinism and
+  // sensitivity to both inputs.
+  Hash a = Keccak256TwoWords(U256(3990300), U256(1));
+  Hash b = Keccak256TwoWords(U256(3990300), U256(2));
+  Hash c = Keccak256TwoWords(U256(3990301), U256(1));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, Keccak256TwoWords(U256(3990300), U256(1)));
+}
+
+}  // namespace
+}  // namespace frn

@@ -1,0 +1,324 @@
+// Tests for the DELEGATECALL proxy pattern, contract creation (transaction-
+// level and the CREATE opcode), EXTCODE* queries, and the code-identity
+// guards that keep accelerated programs sound when code can change.
+#include <gtest/gtest.h>
+
+#include "src/contracts/contracts.h"
+#include "src/core/ap.h"
+#include "src/core/trace_builder.h"
+#include "src/crypto/keccak.h"
+#include "tests/test_util.h"
+
+namespace frn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EVM semantics
+// ---------------------------------------------------------------------------
+
+TEST(DelegatecallTest, RunsCalleeCodeInCallerStorage) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  Address impl = world.DeployAsm(200, "PUSH 77\nPUSH 9\nSSTORE\nSTOP");
+  std::string caller_src = R"(
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH )" + impl.ToU256().ToHex() + R"(
+    GAS
+    DELEGATECALL
+    POP
+    STOP
+  )";
+  Address caller = world.DeployAsm(100, caller_src);
+  ASSERT_TRUE(world.Run(world.MakeTx(user, caller, {})).ok());
+  // The write landed in the CALLER's storage, not the implementation's.
+  EXPECT_EQ(world.state().GetStorage(caller, U256(9)), U256(77));
+  EXPECT_EQ(world.state().GetStorage(impl, U256(9)), U256());
+}
+
+TEST(DelegatecallTest, PreservesCallerAndValue) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  // Implementation stores CALLER at slot 0 and CALLVALUE at slot 1.
+  Address impl = world.DeployAsm(200, R"(
+    CALLER
+    PUSH 0
+    SSTORE
+    CALLVALUE
+    PUSH 1
+    SSTORE
+    STOP
+  )");
+  std::string caller_src = R"(
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH 0
+    PUSH )" + impl.ToU256().ToHex() + R"(
+    GAS
+    DELEGATECALL
+    POP
+    STOP
+  )";
+  Address caller = world.DeployAsm(100, caller_src);
+  ASSERT_TRUE(world.Run(world.MakeTx(user, caller, {}, U256(555))).ok());
+  // CALLER inside the delegatecall is the original tx sender; CALLVALUE is
+  // the original value — and no balance moved to the implementation.
+  EXPECT_EQ(world.state().GetStorage(caller, U256(0)), user.ToU256());
+  EXPECT_EQ(world.state().GetStorage(caller, U256(1)), U256(555));
+  EXPECT_EQ(world.state().GetBalance(impl), U256());
+  EXPECT_EQ(world.state().GetBalance(caller), U256(555));
+}
+
+TEST(ExtcodeTest, SizeAndHashQueries) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  Address target = world.DeployAsm(200, "STOP");
+  Bytes target_code = world.state().GetCode(target);
+  std::string src = R"(
+    PUSH )" + target.ToU256().ToHex() + R"(
+    EXTCODESIZE
+    PUSH 0
+    SSTORE
+    PUSH )" + target.ToU256().ToHex() + R"(
+    EXTCODEHASH
+    PUSH 1
+    SSTORE
+    STOP
+  )";
+  Address prober = world.DeployAsm(100, src);
+  ASSERT_TRUE(world.Run(world.MakeTx(user, prober, {})).ok());
+  EXPECT_EQ(world.state().GetStorage(prober, U256(0)),
+            U256(static_cast<uint64_t>(target_code.size())));
+  EXPECT_EQ(world.state().GetStorage(prober, U256(1)), Keccak256(target_code).ToU256());
+}
+
+TEST(CreateTest, TransactionLevelDeployment) {
+  TestWorld world;
+  Address sender = world.Fund(1);
+  Bytes runtime = Assemble("PUSH 1\nPUSH 0\nSSTORE\nSTOP");
+  Transaction tx = world.MakeTx(sender, Address(), MakeInitCode(runtime));
+  ExecResult r = world.Run(tx);
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  // Return data is the deployed address; its code is the runtime.
+  ASSERT_EQ(r.return_data.size(), 20u);
+  Address deployed = Evm::CreateAddress(sender, 0);
+  EXPECT_EQ(Bytes(deployed.bytes().begin(), deployed.bytes().end()), r.return_data);
+  EXPECT_EQ(world.state().GetCode(deployed), runtime);
+  // And the deployed contract is callable.
+  ASSERT_TRUE(world.Run(world.MakeTx(sender, deployed, {})).ok());
+  EXPECT_EQ(world.state().GetStorage(deployed, U256(0)), U256(1));
+}
+
+TEST(CreateTest, CreateOpcodeFromContract) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  Bytes runtime = Assemble("PUSH 7\nPUSH 0\nSSTORE\nSTOP");
+  Bytes init = MakeInitCode(runtime);
+  // Factory: copies its own trailing bytes (the init code) to memory and
+  // CREATEs, storing the new address at slot 0. To keep the assembly simple
+  // the init code is embedded via CODECOPY from a fixed offset.
+  std::string src = R"(
+    PUSH )" + std::to_string(init.size()) + R"(
+    PUSH @payload
+    PUSH 1
+    ADD                 ; skip the label's JUMPDEST byte
+    PUSH 0
+    CODECOPY            ; mem[0..n) = init code
+    PUSH )" + std::to_string(init.size()) + R"(
+    PUSH 0
+    PUSH 0
+    CREATE              ; CREATE(value=0, offset=0, size=n)
+    PUSH 0
+    SSTORE
+    STOP
+  payload:
+  )";
+  Bytes factory_code = Assemble(src);
+  factory_code.insert(factory_code.end(), init.begin(), init.end());
+  Address factory = world.Deploy(100, factory_code);
+  ASSERT_TRUE(world.Run(world.MakeTx(user, factory, {})).ok());
+  // The factory's nonce was 0; the created address derives from it.
+  Address created = Evm::CreateAddress(factory, 0);
+  EXPECT_EQ(world.state().GetStorage(factory, U256(0)), created.ToU256());
+  EXPECT_EQ(world.state().GetCode(created), runtime);
+  EXPECT_EQ(world.state().GetNonce(factory), 1u);
+  // A second run deploys at a different address (nonce 1).
+  ASSERT_TRUE(world.Run(world.MakeTx(user, factory, {})).ok());
+  EXPECT_EQ(world.state().GetStorage(factory, U256(0)),
+            Evm::CreateAddress(factory, 1).ToU256());
+}
+
+TEST(CreateTest, RevertingInitDeploysNothing) {
+  TestWorld world;
+  Address sender = world.Fund(1);
+  Bytes init = Assemble("PUSH 0\nPUSH 0\nREVERT");
+  Transaction tx = world.MakeTx(sender, Address(), init);
+  ExecResult r = world.Run(tx);
+  EXPECT_EQ(r.status, ExecStatus::kReverted);
+  EXPECT_TRUE(world.state().GetCode(Evm::CreateAddress(sender, 0)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Proxy pattern end-to-end
+// ---------------------------------------------------------------------------
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice_ = world_.Fund(1);
+    bob_ = world_.Fund(2);
+    impl_ = world_.Deploy(60, Token::Code());
+    proxy_ = Address::FromId(61);
+    Proxy::Deploy(&world_.state(), proxy_, impl_);
+    // Balances live in the PROXY's storage.
+    world_.state().SetStorage(proxy_, Token::BalanceSlot(alice_), U256(1'000'000));
+  }
+
+  TestWorld world_;
+  Address alice_, bob_, impl_, proxy_;
+};
+
+TEST_F(ProxyTest, ForwardsCallsIntoProxyStorage) {
+  ExecResult r = world_.Run(world_.MakeTx(
+      alice_, proxy_, EncodeCall(Token::kTransfer, {bob_.ToU256(), U256(300)})));
+  ASSERT_TRUE(r.ok()) << ExecStatusName(r.status);
+  EXPECT_EQ(world_.state().GetStorage(proxy_, Token::BalanceSlot(alice_)), U256(999'700));
+  EXPECT_EQ(world_.state().GetStorage(proxy_, Token::BalanceSlot(bob_)), U256(300));
+  // Log is attributed to the proxy (the executing storage context).
+  ASSERT_EQ(r.logs.size(), 1u);
+  EXPECT_EQ(r.logs[0].address, proxy_);
+  // The implementation's own storage is untouched.
+  EXPECT_EQ(world_.state().GetStorage(impl_, Token::BalanceSlot(alice_)), U256());
+}
+
+TEST_F(ProxyTest, BubblesReturnData) {
+  ExecResult r = world_.Run(world_.MakeTx(
+      bob_, proxy_, EncodeCall(Token::kBalanceOf, {alice_.ToU256()})));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::FromBigEndian(r.return_data.data(), 32), U256(1'000'000));
+}
+
+TEST_F(ProxyTest, BubblesReverts) {
+  ExecResult r = world_.Run(world_.MakeTx(
+      bob_, proxy_, EncodeCall(Token::kTransfer, {alice_.ToU256(), U256(1)})));
+  EXPECT_EQ(r.status, ExecStatus::kReverted);
+}
+
+// ---------------------------------------------------------------------------
+// Speculation over proxies and code-identity guards
+// ---------------------------------------------------------------------------
+
+struct Synth {
+  bool ok = false;
+  std::string reason;
+  Ap ap;
+  ExecResult speculated;
+};
+
+Synth Build(Mpt* trie, const Hash& root, const BlockContext& ctx, const Transaction& tx) {
+  Synth out;
+  StateDb scratch(trie, root);
+  TraceBuilder builder(tx, &scratch);
+  Evm evm(&scratch, ctx);
+  out.speculated = evm.ExecuteTransaction(tx, &builder);
+  LinearIr ir;
+  if (!builder.Finalize(out.speculated, &ir)) {
+    out.reason = builder.failed_reason();
+    return out;
+  }
+  out.ap = Ap::Build(std::move(ir));
+  out.ok = true;
+  return out;
+}
+
+TEST_F(ProxyTest, ProxiedTransferSynthesizesAndMatchesEvm) {
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(
+      alice_, proxy_, EncodeCall(Token::kTransfer, {bob_.ToU256(), U256(123)}));
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+  ASSERT_TRUE(synth.speculated.ok());
+
+  StateDb ref_state(&world_.trie(), root);
+  Evm ref(&ref_state, world_.block());
+  ExecResult expected = ref.ExecuteTransaction(tx);
+  Hash ref_root = ref_state.Commit();
+
+  StateDb acc_state(&world_.trie(), root);
+  ApRunResult run = synth.ap.Execute(&acc_state, world_.block());
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_EQ(run.result, expected);
+  acc_state.SetNonce(tx.sender, tx.nonce + 1);
+  acc_state.SubBalance(tx.sender, U256(run.result.gas_used) * tx.gas_price);
+  acc_state.AddBalance(world_.block().coinbase, U256(run.result.gas_used) * tx.gas_price);
+  EXPECT_EQ(acc_state.Commit(), ref_root);
+}
+
+TEST_F(ProxyTest, UpgradeViolatesCodeIdentityGuard) {
+  Hash root = world_.state().Commit();
+  Transaction tx = world_.MakeTx(
+      alice_, proxy_, EncodeCall(Token::kTransfer, {bob_.ToU256(), U256(123)}));
+  Synth synth = Build(&world_.trie(), root, world_.block(), tx);
+  ASSERT_TRUE(synth.ok) << synth.reason;
+
+  // The proxy is upgraded to a different implementation between speculation
+  // and execution: the SLOAD of the implementation slot yields a different
+  // address, so the pinned call target (or its code hash) diverges and the
+  // constraint set must reject the stale fast path.
+  StateDb mutate(&world_.trie(), root);
+  Address impl2 = Address::FromId(62);
+  mutate.SetCode(impl2, Registry::Code());  // wildly different implementation
+  mutate.SetStorage(proxy_, U256(Proxy::kImplSlot), impl2.ToU256());
+  Hash upgraded_root = mutate.Commit();
+
+  StateDb probe(&world_.trie(), upgraded_root);
+  ApRunResult run = synth.ap.Execute(&probe, world_.block());
+  EXPECT_FALSE(run.satisfied);
+}
+
+TEST(CreateSpeculationTest, CreationTransactionsFallBack) {
+  TestWorld world;
+  Address sender = world.Fund(1);
+  Hash root = world.state().Commit();
+  Transaction tx = world.MakeTx(sender, Address(),
+                                MakeInitCode(Assemble("PUSH 1\nPUSH 0\nSSTORE\nSTOP")));
+  Synth synth = Build(&world.trie(), root, world.block(), tx);
+  EXPECT_FALSE(synth.ok);
+  EXPECT_NE(synth.reason.find("creation"), std::string::npos);
+}
+
+TEST(CreateSpeculationTest, FactoryCreateBailsGracefully) {
+  TestWorld world;
+  Address user = world.Fund(1);
+  Bytes init = MakeInitCode(Assemble("STOP"));
+  std::string src = R"(
+    PUSH )" + std::to_string(init.size()) + R"(
+    PUSH @payload
+    PUSH 1
+    ADD                 ; skip the label's JUMPDEST byte
+    PUSH 0
+    CODECOPY
+    PUSH )" + std::to_string(init.size()) + R"(
+    PUSH 0
+    PUSH 0
+    CREATE
+    PUSH 0
+    SSTORE
+    STOP
+  payload:
+  )";
+  Bytes factory_code = Assemble(src);
+  factory_code.insert(factory_code.end(), init.begin(), init.end());
+  Address factory = world.Deploy(100, factory_code);
+  Hash root = world.state().Commit();
+  Transaction tx = world.MakeTx(user, factory, {});
+  Synth synth = Build(&world.trie(), root, world.block(), tx);
+  EXPECT_FALSE(synth.ok);
+  EXPECT_NE(synth.reason.find("CREATE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frn

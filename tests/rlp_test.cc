@@ -1,0 +1,144 @@
+#include "src/rlp/rlp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace frn {
+namespace {
+
+Bytes FromString(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// Canonical examples from the Ethereum wiki / Yellow Paper appendix B.
+TEST(RlpTest, SingleByteBelow0x80IsItself) {
+  EXPECT_EQ(RlpEncoder::EncodeBytes(Bytes{0x7f}), (Bytes{0x7f}));
+  EXPECT_EQ(RlpEncoder::EncodeBytes(Bytes{0x00}), (Bytes{0x00}));
+}
+
+TEST(RlpTest, EmptyString) { EXPECT_EQ(RlpEncoder::EncodeBytes(Bytes{}), (Bytes{0x80})); }
+
+TEST(RlpTest, Dog) {
+  EXPECT_EQ(RlpEncoder::EncodeBytes(FromString("dog")), (Bytes{0x83, 'd', 'o', 'g'}));
+}
+
+TEST(RlpTest, CatDogList) {
+  std::vector<Bytes> items = {RlpEncoder::EncodeBytes(FromString("cat")),
+                              RlpEncoder::EncodeBytes(FromString("dog"))};
+  EXPECT_EQ(RlpEncoder::EncodeList(items),
+            (Bytes{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}));
+}
+
+TEST(RlpTest, EmptyList) { EXPECT_EQ(RlpEncoder::EncodeList({}), (Bytes{0xc0})); }
+
+TEST(RlpTest, LongString) {
+  // "Lorem ipsum dolor sit amet, consectetur adipisicing elit" (56 chars)
+  std::string s = "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+  Bytes encoded = RlpEncoder::EncodeBytes(FromString(s));
+  ASSERT_EQ(encoded[0], 0xb8);
+  ASSERT_EQ(encoded[1], 56);
+  EXPECT_EQ(encoded.size(), 58u);
+}
+
+TEST(RlpTest, IntegerEncodings) {
+  EXPECT_EQ(RlpEncoder::EncodeUint(uint64_t{0}), (Bytes{0x80}));
+  EXPECT_EQ(RlpEncoder::EncodeUint(uint64_t{15}), (Bytes{0x0f}));
+  EXPECT_EQ(RlpEncoder::EncodeUint(uint64_t{1024}), (Bytes{0x82, 0x04, 0x00}));
+}
+
+TEST(RlpTest, DecodeRoundTripString) {
+  Bytes payload = FromString("hello rlp world, longer than one byte");
+  Bytes encoded = RlpEncoder::EncodeBytes(payload);
+  RlpDecoder::Item item;
+  ASSERT_TRUE(RlpDecoder::Decode(encoded, &item));
+  EXPECT_FALSE(item.is_list);
+  EXPECT_EQ(item.payload, payload);
+}
+
+TEST(RlpTest, DecodeRoundTripNestedList) {
+  std::vector<Bytes> inner = {RlpEncoder::EncodeBytes(FromString("a")),
+                              RlpEncoder::EncodeBytes(FromString("b"))};
+  std::vector<Bytes> outer = {RlpEncoder::EncodeList(inner),
+                              RlpEncoder::EncodeBytes(FromString("c"))};
+  Bytes encoded = RlpEncoder::EncodeList(outer);
+  RlpDecoder::Item item;
+  ASSERT_TRUE(RlpDecoder::Decode(encoded, &item));
+  ASSERT_TRUE(item.is_list);
+  ASSERT_EQ(item.children.size(), 2u);
+  ASSERT_TRUE(item.children[0].is_list);
+  ASSERT_EQ(item.children[0].children.size(), 2u);
+  EXPECT_EQ(item.children[0].children[0].payload, FromString("a"));
+  EXPECT_EQ(item.children[1].payload, FromString("c"));
+}
+
+TEST(RlpTest, DecodeRejectsTruncatedInput) {
+  Bytes encoded = RlpEncoder::EncodeBytes(FromString("dog"));
+  encoded.pop_back();
+  RlpDecoder::Item item;
+  EXPECT_FALSE(RlpDecoder::Decode(encoded, &item));
+}
+
+TEST(RlpTest, DecodeRejectsTrailingGarbage) {
+  Bytes encoded = RlpEncoder::EncodeBytes(FromString("dog"));
+  encoded.push_back(0x00);
+  RlpDecoder::Item item;
+  EXPECT_FALSE(RlpDecoder::Decode(encoded, &item));
+}
+
+// Property sweep: random strings and flat lists round-trip.
+class RlpRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RlpRoundTripProperty, RandomStringsRoundTrip) {
+  Rng rng(0x1210 + GetParam());
+  for (int i = 0; i < 100; ++i) {
+    size_t len = rng.NextBounded(300);
+    Bytes payload(len);
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    Bytes encoded = RlpEncoder::EncodeBytes(payload);
+    RlpDecoder::Item item;
+    ASSERT_TRUE(RlpDecoder::Decode(encoded, &item));
+    EXPECT_FALSE(item.is_list);
+    EXPECT_EQ(item.payload, payload);
+  }
+}
+
+TEST_P(RlpRoundTripProperty, RandomListsRoundTrip) {
+  Rng rng(0xBEEF + GetParam());
+  for (int i = 0; i < 50; ++i) {
+    size_t n = rng.NextBounded(20);
+    std::vector<Bytes> raw;
+    std::vector<Bytes> encoded_items;
+    for (size_t j = 0; j < n; ++j) {
+      size_t len = rng.NextBounded(80);
+      Bytes payload(len);
+      for (auto& b : payload) {
+        b = static_cast<uint8_t>(rng.NextU64());
+      }
+      raw.push_back(payload);
+      encoded_items.push_back(RlpEncoder::EncodeBytes(payload));
+    }
+    Bytes encoded = RlpEncoder::EncodeList(encoded_items);
+    RlpDecoder::Item item;
+    ASSERT_TRUE(RlpDecoder::Decode(encoded, &item));
+    ASSERT_TRUE(item.is_list);
+    ASSERT_EQ(item.children.size(), n);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(item.children[j].payload, raw[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlpRoundTripProperty, ::testing::Range(0, 4));
+
+TEST(RlpTest, U256IntegerCanonical) {
+  // No leading zeros in the canonical integer encoding.
+  U256 v = U256::FromHex("0x00ff");
+  Bytes encoded = RlpEncoder::EncodeUint(v);
+  EXPECT_EQ(encoded, (Bytes{0x81, 0xff}));
+}
+
+}  // namespace
+}  // namespace frn

@@ -1,0 +1,199 @@
+// Unit tests at the S-EVM level: instruction evaluation, classification,
+// rendering, and hand-built AP graphs (guard case-branching, shortcut memo
+// semantics, merge corner cases) without going through the trace builder.
+#include "src/core/sevm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ap.h"
+#include "tests/test_util.h"
+
+namespace frn {
+namespace {
+
+TEST(SevmTest, ClassificationPartitionsTheInstructionSet) {
+  for (int op_int = 0; op_int <= static_cast<int>(SOp::kTransfer); ++op_int) {
+    SOp op = static_cast<SOp>(op_int);
+    int classes = (IsPureCompute(op) ? 1 : 0) + (IsContextRead(op) ? 1 : 0) +
+                  (IsEffect(op) ? 1 : 0) + (op == SOp::kGuard ? 1 : 0);
+    EXPECT_EQ(classes, 1) << SOpName(op);
+  }
+}
+
+TEST(SevmTest, EvalPureMatchesU256Semantics) {
+  EXPECT_EQ(EvalPure(SOp::kAdd, {U256(2), U256(3)}), U256(5));
+  EXPECT_EQ(EvalPure(SOp::kSub, {U256(2), U256(3)}), U256(3).Negate() + U256(2));
+  EXPECT_EQ(EvalPure(SOp::kDiv, {U256(7), U256(0)}), U256());
+  EXPECT_EQ(EvalPure(SOp::kLt, {U256(1), U256(2)}), U256(1));
+  EXPECT_EQ(EvalPure(SOp::kIsZero, {U256()}), U256(1));
+  EXPECT_EQ(EvalPure(SOp::kShl, {U256(8), U256(1)}), U256(256));
+  EXPECT_EQ(EvalPure(SOp::kByte, {U256(31), U256(0xAB)}), U256(0xAB));
+}
+
+TEST(SevmTest, EvalPureKeccakConcatenatesWords) {
+  U256 h1 = EvalPure(SOp::kKeccak, {U256(1), U256(2)});
+  U256 h2 = EvalPure(SOp::kKeccak, {U256(1), U256(2)});
+  U256 h3 = EvalPure(SOp::kKeccak, {U256(2), U256(1)});
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(SevmTest, EvalReadAgainstLiveState) {
+  TestWorld world;
+  Address contract = Address::FromId(9);
+  world.state().SetStorage(contract, U256(3), U256(33));
+  world.state().AddBalance(contract, U256(1234));
+  world.block().timestamp = 777;
+  EXPECT_EQ(EvalRead(SOp::kTimestamp, {}, &world.state(), world.block()), U256(777));
+  EXPECT_EQ(EvalRead(SOp::kSload, {contract.ToU256(), U256(3)}, &world.state(), world.block()),
+            U256(33));
+  EXPECT_EQ(EvalRead(SOp::kBalance, {contract.ToU256()}, &world.state(), world.block()),
+            U256(1234));
+  EXPECT_EQ(EvalRead(SOp::kCoinbase, {}, &world.state(), world.block()),
+            world.block().coinbase.ToU256());
+}
+
+TEST(SevmTest, RenderInstrShowsRegistersAndConstants) {
+  SInstr instr;
+  instr.op = SOp::kAdd;
+  instr.dest = 7;
+  instr.args = {Operand::Reg(3), Operand::Const(U256(300))};
+  std::string text = RenderInstr(instr);
+  EXPECT_NE(text.find("v7"), std::string::npos);
+  EXPECT_NE(text.find("ADD"), std::string::npos);
+  EXPECT_NE(text.find("v3"), std::string::npos);
+  EXPECT_NE(text.find("0x12c"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built LinearIr -> AP behaviour
+// ---------------------------------------------------------------------------
+
+class HandBuiltApTest : public ::testing::Test {
+ protected:
+  HandBuiltApTest() {
+    contract_ = Address::FromId(50);
+    world_.state().SetStorage(contract_, U256(0), U256(10));
+    world_.state().Commit();
+  }
+
+  // IR: v0 = SLOAD(c,0); v1 = ADD(v0, 5); GUARD(v1 == expected);
+  //     SSTORE(c, 1, v1); status success.
+  LinearIr MakeIr(const U256& traced_slot0) {
+    LinearIr ir;
+    ir.n_regs = 2;
+    ir.traced_values = {traced_slot0, traced_slot0 + U256(5)};
+    SInstr load;
+    load.op = SOp::kSload;
+    load.dest = 0;
+    load.args = {Operand::Const(contract_.ToU256()), Operand::Const(U256(0))};
+    SInstr add;
+    add.op = SOp::kAdd;
+    add.dest = 1;
+    add.args = {Operand::Reg(0), Operand::Const(U256(5))};
+    SInstr guard;
+    guard.op = SOp::kGuard;
+    guard.args = {Operand::Reg(1)};
+    guard.expected = traced_slot0 + U256(5);
+    SInstr store;
+    store.op = SOp::kSstore;
+    store.args = {Operand::Const(contract_.ToU256()), Operand::Const(U256(1)),
+                  Operand::Reg(1)};
+    ir.instrs = {load, add, guard, store};
+    ir.status = ExecStatus::kSuccess;
+    ir.gas_used = 12345;
+    return ir;
+  }
+
+  TestWorld world_;
+  Address contract_;
+};
+
+TEST_F(HandBuiltApTest, GuardSatisfiedExecutesEffects) {
+  Ap ap = Ap::Build(MakeIr(U256(10)));
+  ApRunResult run = ap.Execute(&world_.state(), world_.block());
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_EQ(run.result.gas_used, 12345u);
+  EXPECT_EQ(world_.state().GetStorage(contract_, U256(1)), U256(15));
+}
+
+TEST_F(HandBuiltApTest, GuardViolationLeavesStateUntouched) {
+  world_.state().SetStorage(contract_, U256(0), U256(99));  // diverged context
+  Ap ap = Ap::Build(MakeIr(U256(10)));
+  ApRunResult run = ap.Execute(&world_.state(), world_.block());
+  EXPECT_FALSE(run.satisfied);
+  EXPECT_EQ(world_.state().GetStorage(contract_, U256(1)), U256());  // rollback-free
+}
+
+TEST_F(HandBuiltApTest, MergedGuardCaseBranches) {
+  Ap ap = Ap::Build(MakeIr(U256(10)));
+  ASSERT_TRUE(ap.MergeWith(Ap::Build(MakeIr(U256(20)))));
+  EXPECT_EQ(ap.stats().paths, 2u);
+  // Context B (slot0 == 20) now satisfies the merged AP.
+  world_.state().SetStorage(contract_, U256(0), U256(20));
+  ApRunResult run = ap.Execute(&world_.state(), world_.block());
+  ASSERT_TRUE(run.satisfied);
+  EXPECT_EQ(world_.state().GetStorage(contract_, U256(1)), U256(25));
+  // A third value still violates.
+  world_.state().SetStorage(contract_, U256(0), U256(30));
+  EXPECT_FALSE(ap.Execute(&world_.state(), world_.block()).satisfied);
+}
+
+TEST_F(HandBuiltApTest, MergeIsIdempotent) {
+  Ap a = Ap::Build(MakeIr(U256(10)));
+  Ap b = a;
+  ASSERT_TRUE(a.MergeWith(b));
+  EXPECT_EQ(a.stats().paths, 1u);
+  EXPECT_EQ(a.stats().guard_nodes, b.stats().guard_nodes);
+}
+
+TEST_F(HandBuiltApTest, MergeOrderDoesNotChangeOutcomes) {
+  Ap ab = Ap::Build(MakeIr(U256(10)));
+  ASSERT_TRUE(ab.MergeWith(Ap::Build(MakeIr(U256(20)))));
+  Ap ba = Ap::Build(MakeIr(U256(20)));
+  ASSERT_TRUE(ba.MergeWith(Ap::Build(MakeIr(U256(10)))));
+  for (uint64_t slot0 : {10u, 20u, 30u}) {
+    StateDb s1(&world_.trie(), world_.state().root());
+    s1.SetStorage(contract_, U256(0), U256(slot0));
+    StateDb s2(&world_.trie(), world_.state().root());
+    s2.SetStorage(contract_, U256(0), U256(slot0));
+    ApRunResult r1 = ab.Execute(&s1, world_.block());
+    ApRunResult r2 = ba.Execute(&s2, world_.block());
+    EXPECT_EQ(r1.satisfied, r2.satisfied) << slot0;
+    if (r1.satisfied) {
+      EXPECT_EQ(s1.GetStorage(contract_, U256(1)), s2.GetStorage(contract_, U256(1)));
+    }
+  }
+}
+
+TEST_F(HandBuiltApTest, DeadCodeEliminationDropsUnusedComputes) {
+  LinearIr ir = MakeIr(U256(10));
+  // Append an unused compute: v2 = MUL(v0, v0) with nothing referencing v2.
+  SInstr dead;
+  dead.op = SOp::kMul;
+  dead.dest = 2;
+  dead.args = {Operand::Reg(0), Operand::Reg(0)};
+  ir.instrs.insert(ir.instrs.begin() + 2, dead);
+  ir.n_regs = 3;
+  ir.traced_values.push_back(U256(100));
+  Ap ap = Ap::Build(std::move(ir));
+  EXPECT_EQ(ap.synthesis_stats().dead_eliminated, 1u);
+  for (const ApNode& node : ap.nodes()) {
+    if (node.kind == ApNode::Kind::kInstr) {
+      EXPECT_NE(node.instr.op, SOp::kMul);
+    }
+  }
+}
+
+TEST_F(HandBuiltApTest, ShortcutsCanBeDisabled) {
+  ApOptions options;
+  options.enable_shortcuts = false;
+  Ap ap = Ap::Build(MakeIr(U256(10)), options);
+  EXPECT_EQ(ap.stats().shortcut_nodes, 0u);
+  ApRunResult run = ap.Execute(&world_.state(), world_.block());
+  EXPECT_TRUE(run.satisfied);
+  EXPECT_EQ(run.instrs_skipped, 0u);
+}
+
+}  // namespace
+}  // namespace frn

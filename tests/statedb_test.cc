@@ -1,0 +1,265 @@
+#include "src/state/statedb.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace frn {
+namespace {
+
+KvStore::Options FastStore() {
+  KvStore::Options o;
+  o.cold_read_latency = std::chrono::nanoseconds(0);
+  return o;
+}
+
+class StateDbTest : public ::testing::Test {
+ protected:
+  StateDbTest() : store_(FastStore()), trie_(&store_) {}
+
+  KvStore store_;
+  Mpt trie_;
+};
+
+TEST_F(StateDbTest, FreshAccountDefaults) {
+  StateDb db(&trie_, Mpt::EmptyRoot());
+  Address a = Address::FromId(1);
+  EXPECT_FALSE(db.Exists(a));
+  EXPECT_EQ(db.GetBalance(a), U256());
+  EXPECT_EQ(db.GetNonce(a), 0u);
+  EXPECT_TRUE(db.GetCode(a).empty());
+  EXPECT_EQ(db.GetStorage(a, U256(1)), U256());
+}
+
+TEST_F(StateDbTest, BalanceArithmetic) {
+  StateDb db(&trie_, Mpt::EmptyRoot());
+  Address a = Address::FromId(1);
+  db.AddBalance(a, U256(100));
+  EXPECT_EQ(db.GetBalance(a), U256(100));
+  EXPECT_TRUE(db.SubBalance(a, U256(40)));
+  EXPECT_EQ(db.GetBalance(a), U256(60));
+  EXPECT_FALSE(db.SubBalance(a, U256(61)));
+  EXPECT_EQ(db.GetBalance(a), U256(60));
+}
+
+TEST_F(StateDbTest, StorageReadYourWrites) {
+  StateDb db(&trie_, Mpt::EmptyRoot());
+  Address a = Address::FromId(2);
+  db.SetStorage(a, U256(5), U256(42));
+  EXPECT_EQ(db.GetStorage(a, U256(5)), U256(42));
+  EXPECT_EQ(db.GetCommittedStorage(a, U256(5)), U256());
+}
+
+TEST_F(StateDbTest, SnapshotRevertUndoesEverything) {
+  StateDb db(&trie_, Mpt::EmptyRoot());
+  Address a = Address::FromId(3);
+  Address b = Address::FromId(4);
+  db.AddBalance(a, U256(10));
+  db.SetStorage(a, U256(1), U256(11));
+  int snap = db.Snapshot();
+  db.AddBalance(b, U256(5));
+  db.SetStorage(a, U256(1), U256(99));
+  db.SetNonce(a, 7);
+  db.SetCode(b, Bytes{0x60, 0x00});
+  db.RevertToSnapshot(snap);
+  EXPECT_EQ(db.GetBalance(b), U256());
+  EXPECT_EQ(db.GetStorage(a, U256(1)), U256(11));
+  EXPECT_EQ(db.GetNonce(a), 0u);
+  EXPECT_TRUE(db.GetCode(b).empty());
+  EXPECT_EQ(db.GetBalance(a), U256(10));
+}
+
+TEST_F(StateDbTest, NestedSnapshots) {
+  StateDb db(&trie_, Mpt::EmptyRoot());
+  Address a = Address::FromId(5);
+  db.SetStorage(a, U256(0), U256(1));
+  int s1 = db.Snapshot();
+  db.SetStorage(a, U256(0), U256(2));
+  int s2 = db.Snapshot();
+  db.SetStorage(a, U256(0), U256(3));
+  db.RevertToSnapshot(s2);
+  EXPECT_EQ(db.GetStorage(a, U256(0)), U256(2));
+  db.RevertToSnapshot(s1);
+  EXPECT_EQ(db.GetStorage(a, U256(0)), U256(1));
+}
+
+TEST_F(StateDbTest, CommitPersistsAcrossReopen) {
+  Hash root;
+  Address a = Address::FromId(6);
+  {
+    StateDb db(&trie_, Mpt::EmptyRoot());
+    db.AddBalance(a, U256(1000));
+    db.SetNonce(a, 3);
+    db.SetStorage(a, U256(7), U256(77));
+    db.SetCode(a, Bytes{0x01, 0x02, 0x03});
+    root = db.Commit();
+  }
+  StateDb db2(&trie_, root);
+  EXPECT_EQ(db2.GetBalance(a), U256(1000));
+  EXPECT_EQ(db2.GetNonce(a), 3u);
+  EXPECT_EQ(db2.GetStorage(a, U256(7)), U256(77));
+  EXPECT_EQ(db2.GetCode(a), (Bytes{0x01, 0x02, 0x03}));
+  EXPECT_EQ(db2.GetCommittedStorage(a, U256(7)), U256(77));
+}
+
+TEST_F(StateDbTest, CommitRootIsDeterministic) {
+  Address a = Address::FromId(7);
+  Address b = Address::FromId(8);
+  auto build = [&](bool reverse) {
+    KvStore store(FastStore());
+    Mpt trie(&store);
+    StateDb db(&trie, Mpt::EmptyRoot());
+    if (reverse) {
+      db.AddBalance(b, U256(2));
+      db.AddBalance(a, U256(1));
+    } else {
+      db.AddBalance(a, U256(1));
+      db.AddBalance(b, U256(2));
+    }
+    db.SetStorage(a, U256(0), U256(5));
+    return db.Commit();
+  };
+  EXPECT_EQ(build(false), build(true));
+}
+
+TEST_F(StateDbTest, ZeroStorageWriteDeletesSlot) {
+  Address a = Address::FromId(9);
+  StateDb db(&trie_, Mpt::EmptyRoot());
+  db.AddBalance(a, U256(1));
+  Hash root_before = db.Commit();
+
+  db.SetStorage(a, U256(3), U256(30));
+  Hash root_with_slot = db.Commit();
+  EXPECT_NE(root_with_slot, root_before);
+
+  db.SetStorage(a, U256(3), U256());
+  Hash root_after_clear = db.Commit();
+  EXPECT_EQ(root_after_clear, root_before);
+}
+
+TEST_F(StateDbTest, SharedCacheServesPrefetchedValues) {
+  Address a = Address::FromId(10);
+  Hash root;
+  {
+    StateDb db(&trie_, Mpt::EmptyRoot());
+    db.AddBalance(a, U256(500));
+    db.SetStorage(a, U256(1), U256(111));
+    root = db.Commit();
+  }
+  SharedStateCache cache;
+  cache.Reset(root);
+  // Prefetch off the critical path.
+  {
+    StateDb prefetcher(&trie_, root, &cache);
+    prefetcher.PrefetchAccount(a);
+    prefetcher.PrefetchStorage(a, U256(1));
+  }
+  EXPECT_EQ(cache.account_entries(), 1u);
+  EXPECT_EQ(cache.storage_entries(), 1u);
+  // Critical path: reads served from the shared cache, no trie reads.
+  StateDb db(&trie_, root, &cache);
+  EXPECT_EQ(db.GetBalance(a), U256(500));
+  EXPECT_EQ(db.GetStorage(a, U256(1)), U256(111));
+  EXPECT_EQ(db.stats().account_trie_reads, 0u);
+  EXPECT_EQ(db.stats().storage_trie_reads, 0u);
+  EXPECT_GE(db.stats().shared_cache_hits, 2u);
+}
+
+TEST_F(StateDbTest, SharedCacheIgnoredAtDifferentRoot) {
+  Address a = Address::FromId(11);
+  StateDb setup(&trie_, Mpt::EmptyRoot());
+  setup.AddBalance(a, U256(5));
+  Hash root = setup.Commit();
+
+  SharedStateCache cache;
+  cache.Reset(Mpt::EmptyRoot());  // stale root
+  Account bogus;
+  bogus.balance = U256(12345);
+  bogus.exists = true;
+  cache.PutAccount(a, bogus);
+
+  StateDb db(&trie_, root, &cache);
+  EXPECT_EQ(db.GetBalance(a), U256(5));  // must read the trie, not the stale cache
+}
+
+// Property sweep: randomized mutate/snapshot/revert/commit sequences keep the
+// StateDb consistent with a plain reference model.
+class StateDbModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StateDbModelProperty, MatchesReferenceModel) {
+  Rng rng(0xDB0 + GetParam());
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  StateDb db(&trie, Mpt::EmptyRoot());
+
+  struct Model {
+    std::map<uint64_t, U256> balances;
+    std::map<std::pair<uint64_t, uint64_t>, U256> slots;
+  };
+  Model model;
+  std::vector<std::pair<int, Model>> snaps;
+
+  for (int step = 0; step < 500; ++step) {
+    uint64_t who = rng.NextBounded(8);
+    Address addr = Address::FromId(who);
+    switch (rng.NextBounded(6)) {
+      case 0: {
+        U256 v(rng.NextBounded(1000));
+        db.SetBalance(addr, v);
+        model.balances[who] = v;
+        break;
+      }
+      case 1: {
+        uint64_t slot = rng.NextBounded(4);
+        U256 v(rng.NextBounded(1000));
+        db.SetStorage(addr, U256(slot), v);
+        model.slots[{who, slot}] = v;
+        break;
+      }
+      case 2:
+        snaps.emplace_back(db.Snapshot(), model);
+        break;
+      case 3:
+        if (!snaps.empty()) {
+          size_t pick = rng.NextBounded(snaps.size());
+          db.RevertToSnapshot(snaps[pick].first);
+          model = snaps[pick].second;
+          snaps.resize(pick);
+        }
+        break;
+      case 4:
+        db.Commit();
+        snaps.clear();  // snapshots are invalidated by commit
+        break;
+      default: {
+        // Random read — compare against the model.
+        uint64_t slot = rng.NextBounded(4);
+        U256 expect_bal;
+        if (auto it = model.balances.find(who); it != model.balances.end()) {
+          expect_bal = it->second;
+        }
+        U256 expect_slot;
+        if (auto it = model.slots.find({who, slot}); it != model.slots.end()) {
+          expect_slot = it->second;
+        }
+        EXPECT_EQ(db.GetBalance(addr), expect_bal);
+        EXPECT_EQ(db.GetStorage(addr, U256(slot)), expect_slot);
+        break;
+      }
+    }
+  }
+  // Final commit + reopen: all model values persist.
+  Hash root = db.Commit();
+  StateDb reopened(&trie, root);
+  for (const auto& [who, v] : model.balances) {
+    EXPECT_EQ(reopened.GetBalance(Address::FromId(who)), v);
+  }
+  for (const auto& [key, v] : model.slots) {
+    EXPECT_EQ(reopened.GetStorage(Address::FromId(key.first), U256(key.second)), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateDbModelProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace frn

@@ -1,0 +1,75 @@
+// Shared helpers for tests: a ready-made world (store/trie/state) with funded
+// accounts, plus terse transaction construction and execution.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include "src/easm/easm.h"
+#include "src/evm/evm.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+
+class TestWorld {
+ public:
+  TestWorld() : store_(FastStore()), trie_(&store_), state_(&trie_, Mpt::EmptyRoot()) {
+    block_.number = 1000;
+    block_.timestamp = 3'990'462;  // the paper's FC1 timestamp
+    block_.coinbase = Address::FromId(0xC0FFEE);
+    block_.gas_limit = 15'000'000;
+  }
+
+  static KvStore::Options FastStore() {
+    KvStore::Options o;
+    o.cold_read_latency = std::chrono::nanoseconds(0);
+    return o;
+  }
+
+  Address Fund(uint64_t id, const U256& balance = U256::Exp(U256(10), U256(21))) {
+    Address a = Address::FromId(id);
+    state_.AddBalance(a, balance);
+    return a;
+  }
+
+  Address DeployAsm(uint64_t id, const std::string& source) {
+    return Deploy(id, Assemble(source));
+  }
+
+  Address Deploy(uint64_t id, const Bytes& code) {
+    Address a = Address::FromId(id);
+    state_.SetCode(a, code);
+    return a;
+  }
+
+  Transaction MakeTx(const Address& sender, const Address& to, Bytes data,
+                     const U256& value = U256()) {
+    Transaction tx;
+    tx.sender = sender;
+    tx.to = to;
+    tx.data = std::move(data);
+    tx.value = value;
+    tx.nonce = state_.GetNonce(sender);
+    tx.gas_limit = 2'000'000;
+    tx.gas_price = U256(1'000'000'000);
+    return tx;
+  }
+
+  ExecResult Run(const Transaction& tx, Tracer* tracer = nullptr) {
+    Evm evm(&state_, block_);
+    return evm.ExecuteTransaction(tx, tracer);
+  }
+
+  KvStore& store() { return store_; }
+  Mpt& trie() { return trie_; }
+  StateDb& state() { return state_; }
+  BlockContext& block() { return block_; }
+
+ private:
+  KvStore store_;
+  Mpt trie_;
+  StateDb state_;
+  BlockContext block_;
+};
+
+}  // namespace frn
+
+#endif  // TESTS_TEST_UTIL_H_

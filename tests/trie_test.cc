@@ -1,0 +1,286 @@
+#include "src/trie/trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/crypto/keccak.h"
+
+namespace frn {
+namespace {
+
+Bytes Key32(uint64_t id) {
+  // Fixed-length hashed keys, like the secure tries used by the state.
+  Hash h = Keccak256Word(U256(id));
+  return Bytes(h.bytes().begin(), h.bytes().end());
+}
+
+Bytes Val(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+KvStore::Options FastStore() {
+  KvStore::Options o;
+  o.cold_read_latency = std::chrono::nanoseconds(0);
+  return o;
+}
+
+TEST(HexPrefixTest, RoundTripEvenOdd) {
+  for (bool leaf : {false, true}) {
+    for (size_t len : {0u, 1u, 2u, 5u, 64u}) {
+      Nibbles path;
+      for (size_t i = 0; i < len; ++i) {
+        path.push_back(static_cast<uint8_t>((i * 7 + 3) % 16));
+      }
+      bool decoded_leaf = false;
+      Nibbles round = HexPrefixDecode(HexPrefixEncode(path, leaf), &decoded_leaf);
+      EXPECT_EQ(round, path);
+      EXPECT_EQ(decoded_leaf, leaf);
+    }
+  }
+}
+
+TEST(HexPrefixTest, KnownEncodings) {
+  // Yellow Paper appendix C examples.
+  EXPECT_EQ(HexPrefixEncode({1, 2, 3, 4, 5}, false), (Bytes{0x11, 0x23, 0x45}));
+  EXPECT_EQ(HexPrefixEncode({0, 1, 2, 3, 4, 5}, false), (Bytes{0x00, 0x01, 0x23, 0x45}));
+  EXPECT_EQ(HexPrefixEncode({0, 0xf, 1, 0xc, 0xb, 8}, true), (Bytes{0x20, 0x0f, 0x1c, 0xb8}));
+  EXPECT_EQ(HexPrefixEncode({0xf, 1, 0xc, 0xb, 8}, true), (Bytes{0x3f, 0x1c, 0xb8}));
+}
+
+TEST(TrieTest, EmptyRootIsCanonical) {
+  // keccak(rlp("")) — the well-known empty-trie root.
+  EXPECT_EQ(Mpt::EmptyRoot().ToHex(),
+            "0x56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
+}
+
+TEST(TrieTest, SingleInsertAndGet) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = trie.Put(Mpt::EmptyRoot(), Key32(1), Val("hello"));
+  EXPECT_NE(root, Mpt::EmptyRoot());
+  auto got = trie.Get(root, Key32(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Val("hello"));
+  EXPECT_FALSE(trie.Get(root, Key32(2)).has_value());
+}
+
+TEST(TrieTest, OverwriteChangesRootDeterministically) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash r1 = trie.Put(Mpt::EmptyRoot(), Key32(1), Val("a"));
+  Hash r2 = trie.Put(r1, Key32(1), Val("b"));
+  Hash r3 = trie.Put(r2, Key32(1), Val("a"));
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(r1, r3);  // content-addressed: same contents, same root
+  EXPECT_EQ(*trie.Get(r2, Key32(1)), Val("b"));
+  // Old root still readable (persistence).
+  EXPECT_EQ(*trie.Get(r1, Key32(1)), Val("a"));
+}
+
+TEST(TrieTest, InsertionOrderIndependence) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root_a = Mpt::EmptyRoot();
+  for (uint64_t i = 0; i < 50; ++i) {
+    root_a = trie.Put(root_a, Key32(i), Val("v" + std::to_string(i)));
+  }
+  Hash root_b = Mpt::EmptyRoot();
+  for (uint64_t i = 50; i-- > 0;) {
+    root_b = trie.Put(root_b, Key32(i), Val("v" + std::to_string(i)));
+  }
+  EXPECT_EQ(root_a, root_b);
+}
+
+TEST(TrieTest, DeleteRestoresPriorRoot) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash base = Mpt::EmptyRoot();
+  for (uint64_t i = 0; i < 20; ++i) {
+    base = trie.Put(base, Key32(i), Val("x" + std::to_string(i)));
+  }
+  Hash with_extra = trie.Put(base, Key32(99), Val("extra"));
+  EXPECT_NE(with_extra, base);
+  Hash after_delete = trie.Put(with_extra, Key32(99), Bytes{});
+  EXPECT_EQ(after_delete, base);
+}
+
+TEST(TrieTest, DeleteToEmpty) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = trie.Put(Mpt::EmptyRoot(), Key32(7), Val("only"));
+  root = trie.Put(root, Key32(7), Bytes{});
+  EXPECT_EQ(root, Mpt::EmptyRoot());
+}
+
+TEST(TrieTest, DeleteAbsentKeyIsNoop) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = trie.Put(Mpt::EmptyRoot(), Key32(1), Val("a"));
+  Hash after = trie.Put(root, Key32(999), Bytes{});
+  EXPECT_EQ(after, root);
+}
+
+TEST(TrieTest, ColdReadsChargeLatencyAndPrefetchWarms) {
+  KvStore::Options opts;
+  opts.cold_read_latency = std::chrono::microseconds(5);
+  KvStore store(opts);
+  Mpt trie(&store);
+  Hash root = Mpt::EmptyRoot();
+  for (uint64_t i = 0; i < 64; ++i) {
+    root = trie.Put(root, Key32(i), Val("payload" + std::to_string(i)));
+  }
+  store.CoolAll();
+  store.ResetStats();
+  trie.Prefetch(root, Key32(33));
+  uint64_t cold_during_prefetch = store.stats().cold_reads;
+  EXPECT_GT(cold_during_prefetch, 0u);
+  // The same lookup afterwards is entirely hot.
+  store.ResetStats();
+  auto got = trie.Get(root, Key32(33));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(store.stats().cold_reads, 0u);
+}
+
+TEST(TrieProofTest, PresenceProofVerifies) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = Mpt::EmptyRoot();
+  for (uint64_t i = 0; i < 40; ++i) {
+    root = trie.Put(root, Key32(i), Val("value-" + std::to_string(i)));
+  }
+  std::vector<Bytes> proof;
+  ASSERT_TRUE(trie.Prove(root, Key32(17), &proof));
+  ASSERT_FALSE(proof.empty());
+  std::optional<Bytes> value;
+  ASSERT_TRUE(Mpt::VerifyProof(root, Key32(17), proof, &value));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, Val("value-17"));
+}
+
+TEST(TrieProofTest, AbsenceProofVerifies) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = Mpt::EmptyRoot();
+  for (uint64_t i = 0; i < 40; ++i) {
+    root = trie.Put(root, Key32(i), Val("v" + std::to_string(i)));
+  }
+  std::vector<Bytes> proof;
+  ASSERT_TRUE(trie.Prove(root, Key32(999), &proof));
+  std::optional<Bytes> value;
+  ASSERT_TRUE(Mpt::VerifyProof(root, Key32(999), proof, &value));
+  EXPECT_FALSE(value.has_value());  // proven absent
+}
+
+TEST(TrieProofTest, TamperedProofRejected) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = Mpt::EmptyRoot();
+  for (uint64_t i = 0; i < 10; ++i) {
+    root = trie.Put(root, Key32(i), Val("v" + std::to_string(i)));
+  }
+  std::vector<Bytes> proof;
+  ASSERT_TRUE(trie.Prove(root, Key32(3), &proof));
+  // Flip a byte anywhere in the proof: verification must fail.
+  std::vector<Bytes> tampered = proof;
+  tampered[tampered.size() / 2][0] ^= 0x01;
+  std::optional<Bytes> value;
+  EXPECT_FALSE(Mpt::VerifyProof(root, Key32(3), tampered, &value));
+  // Truncated proofs fail too (unless the truncation itself proves absence).
+  std::vector<Bytes> truncated(proof.begin(), proof.end() - 1);
+  std::optional<Bytes> value2;
+  bool ok = Mpt::VerifyProof(root, Key32(3), truncated, &value2);
+  if (ok) {
+    EXPECT_FALSE(value2.has_value());
+  }
+  // Wrong root fails.
+  std::optional<Bytes> value3;
+  EXPECT_FALSE(Mpt::VerifyProof(Mpt::EmptyRoot(), Key32(3), proof, &value3));
+}
+
+TEST(TrieProofTest, EmptyTrieProvesAbsenceWithEmptyProof) {
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  std::vector<Bytes> proof;
+  ASSERT_TRUE(trie.Prove(Mpt::EmptyRoot(), Key32(1), &proof));
+  EXPECT_TRUE(proof.empty());
+  std::optional<Bytes> value;
+  EXPECT_TRUE(Mpt::VerifyProof(Mpt::EmptyRoot(), Key32(1), proof, &value));
+  EXPECT_FALSE(value.has_value());
+}
+
+// Property sweep: proofs verify for every key (present and absent) in a
+// random trie.
+class TrieProofProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieProofProperty, AllKeysProveAndVerify) {
+  Rng rng(0x9400F + GetParam());
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = Mpt::EmptyRoot();
+  std::map<uint64_t, Bytes> model;
+  size_t n = 20 + rng.NextBounded(60);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t id = rng.NextBounded(500);
+    Bytes value = Val("pv-" + std::to_string(rng.NextBounded(10'000)));
+    root = trie.Put(root, Key32(id), value);
+    model[id] = value;
+  }
+  for (uint64_t id = 0; id < 500; id += 7) {
+    std::vector<Bytes> proof;
+    ASSERT_TRUE(trie.Prove(root, Key32(id), &proof));
+    std::optional<Bytes> value;
+    ASSERT_TRUE(Mpt::VerifyProof(root, Key32(id), proof, &value)) << "key " << id;
+    auto it = model.find(id);
+    if (it != model.end()) {
+      ASSERT_TRUE(value.has_value()) << "key " << id;
+      EXPECT_EQ(*value, it->second);
+    } else {
+      EXPECT_FALSE(value.has_value()) << "key " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieProofProperty, ::testing::Range(0, 5));
+
+// Property sweep: the trie agrees with a reference std::map under random
+// insert/overwrite/delete workloads, and roots are history-independent.
+class TrieModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieModelProperty, MatchesReferenceMap) {
+  Rng rng(0x7121E + GetParam());
+  KvStore store(FastStore());
+  Mpt trie(&store);
+  Hash root = Mpt::EmptyRoot();
+  std::map<uint64_t, Bytes> model;
+  for (int step = 0; step < 400; ++step) {
+    uint64_t id = rng.NextBounded(60);
+    int action = static_cast<int>(rng.NextBounded(3));
+    if (action == 2) {
+      root = trie.Put(root, Key32(id), Bytes{});
+      model.erase(id);
+    } else {
+      Bytes value = Val("val-" + std::to_string(rng.NextBounded(1000)));
+      root = trie.Put(root, Key32(id), value);
+      model[id] = value;
+    }
+    if (step % 50 == 0) {
+      for (const auto& [k, v] : model) {
+        auto got = trie.Get(root, Key32(k));
+        ASSERT_TRUE(got.has_value()) << "missing key " << k;
+        EXPECT_EQ(*got, v);
+      }
+    }
+  }
+  // Rebuild from scratch in sorted order: must give the identical root.
+  Hash rebuilt = Mpt::EmptyRoot();
+  for (const auto& [k, v] : model) {
+    rebuilt = trie.Put(rebuilt, Key32(k), v);
+  }
+  EXPECT_EQ(rebuilt, root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieModelProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace frn

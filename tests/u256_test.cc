@@ -1,0 +1,241 @@
+#include "src/common/u256.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "src/common/rng.h"
+
+namespace frn {
+namespace {
+
+TEST(U256Test, DefaultIsZero) {
+  U256 v;
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_EQ(v.AsUint64(), 0u);
+  EXPECT_EQ(v.BitLength(), 0);
+}
+
+TEST(U256Test, FromUint64RoundTrip) {
+  U256 v(0xDEADBEEFCAFEBABEULL);
+  EXPECT_TRUE(v.FitsUint64());
+  EXPECT_EQ(v.AsUint64(), 0xDEADBEEFCAFEBABEULL);
+}
+
+TEST(U256Test, HexRoundTrip) {
+  U256 v = U256::FromHex("0x1234567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef");
+  EXPECT_EQ(v.ToHex(), "0x1234567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef");
+  EXPECT_EQ(U256().ToHex(), "0x0");
+  EXPECT_EQ(U256(255).ToHex(), "0xff");
+}
+
+TEST(U256Test, DecRoundTrip) {
+  EXPECT_EQ(U256::FromDec("0").ToDec(), "0");
+  EXPECT_EQ(U256::FromDec("3990300").ToDec(), "3990300");
+  EXPECT_EQ(U256::FromDec("115792089237316195423570985008687907853269984665640564039457584007913129639935")
+                .ToDec(),
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935");
+}
+
+TEST(U256Test, BigEndianRoundTrip) {
+  U256 v = U256::FromHex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  auto be = v.ToBigEndian();
+  EXPECT_EQ(be[0], 0x01);
+  EXPECT_EQ(be[31], 0x20);
+  EXPECT_EQ(U256::FromBigEndian(be.data(), be.size()), v);
+}
+
+TEST(U256Test, AdditionWraps) {
+  U256 max = ~U256();
+  EXPECT_EQ(max + U256(1), U256());
+  EXPECT_EQ(max + max, max - U256(1));
+}
+
+TEST(U256Test, SubtractionWraps) {
+  EXPECT_EQ(U256() - U256(1), ~U256());
+  EXPECT_EQ(U256(5) - U256(3), U256(2));
+}
+
+TEST(U256Test, MultiplicationCrossLimb) {
+  U256 a(0xFFFFFFFFFFFFFFFFULL);
+  U256 product = a * a;
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(product.limb(0), 1u);
+  EXPECT_EQ(product.limb(1), 0xFFFFFFFFFFFFFFFEULL);
+  EXPECT_EQ(product.limb(2), 0u);
+}
+
+TEST(U256Test, MultiplicationWrapsMod2Pow256) {
+  U256 big = U256(1) << 255;
+  EXPECT_EQ(big * U256(2), U256());
+}
+
+TEST(U256Test, DivisionBasics) {
+  EXPECT_EQ(U256(100) / U256(7), U256(14));
+  EXPECT_EQ(U256(100) % U256(7), U256(2));
+  // EVM rule: division by zero yields zero.
+  EXPECT_EQ(U256(100) / U256(0), U256());
+  EXPECT_EQ(U256(100) % U256(0), U256());
+}
+
+TEST(U256Test, DivisionLargeOperands) {
+  U256 a = U256::FromHex("0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  U256 b = U256::FromHex("0x10000000000000001");
+  U256 q = a / b;
+  U256 r = a % b;
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r < b);
+}
+
+TEST(U256Test, SignedDivision) {
+  U256 minus_eight = U256(8).Negate();
+  EXPECT_EQ(U256::Sdiv(minus_eight, U256(2)), U256(4).Negate());
+  EXPECT_EQ(U256::Sdiv(minus_eight, U256(2).Negate()), U256(4));
+  EXPECT_EQ(U256::Smod(U256(7).Negate(), U256(3)), U256(1).Negate());
+  EXPECT_EQ(U256::Smod(U256(7), U256(3).Negate()), U256(1));
+  EXPECT_EQ(U256::Sdiv(U256(5), U256()), U256());
+}
+
+TEST(U256Test, Comparisons) {
+  EXPECT_TRUE(U256(1) < U256(2));
+  EXPECT_TRUE(U256(0, 0, 1, 0) > U256(0, 0, 0, 5));
+  EXPECT_TRUE(U256::Slt(U256(1).Negate(), U256(0)));
+  EXPECT_FALSE(U256::Slt(U256(0), U256(1).Negate()));
+  EXPECT_TRUE(U256::Slt(U256(1).Negate(), U256(1)));
+}
+
+TEST(U256Test, Shifts) {
+  EXPECT_EQ(U256(1) << 64, U256(0, 0, 1, 0));
+  EXPECT_EQ(U256(0, 0, 1, 0) >> 64, U256(1));
+  EXPECT_EQ(U256(1) << 255 >> 255, U256(1));
+  EXPECT_EQ(U256(1) << 256, U256());
+  EXPECT_EQ((U256(0xFF) << 4), U256(0xFF0));
+}
+
+TEST(U256Test, SarArithmetic) {
+  U256 minus_one = ~U256();
+  EXPECT_EQ(U256::Sar(U256(1), minus_one), minus_one);
+  EXPECT_EQ(U256::Sar(U256(300), minus_one), minus_one);
+  EXPECT_EQ(U256::Sar(U256(300), U256(5)), U256());
+  EXPECT_EQ(U256::Sar(U256(1), U256(8)), U256(4));
+}
+
+TEST(U256Test, AddModMulMod) {
+  EXPECT_EQ(U256::AddMod(U256(10), U256(10), U256(8)), U256(4));
+  EXPECT_EQ(U256::MulMod(U256(10), U256(10), U256(8)), U256(4));
+  EXPECT_EQ(U256::AddMod(U256(10), U256(10), U256()), U256());
+  EXPECT_EQ(U256::MulMod(U256(10), U256(10), U256()), U256());
+  // 512-bit intermediate: max * max mod (max - 1).
+  U256 max = ~U256();
+  U256 m = max - U256(1);
+  // max = m + 1, so max*max = (m+1)^2 = m^2 + 2m + 1 ≡ 1 (mod m)
+  EXPECT_EQ(U256::MulMod(max, max, m), U256(1));
+  U256 sum = U256::AddMod(max, max, m);
+  EXPECT_EQ(sum, U256(2));
+}
+
+TEST(U256Test, Exp) {
+  EXPECT_EQ(U256::Exp(U256(2), U256(10)), U256(1024));
+  EXPECT_EQ(U256::Exp(U256(0), U256(0)), U256(1));
+  EXPECT_EQ(U256::Exp(U256(3), U256(0)), U256(1));
+  EXPECT_EQ(U256::Exp(U256(2), U256(256)), U256());  // wraps to zero
+  EXPECT_EQ(U256::Exp(U256(10), U256(18)), U256::FromDec("1000000000000000000"));
+}
+
+TEST(U256Test, SignExtend) {
+  // Sign-extend byte 0 of 0xFF -> -1.
+  EXPECT_EQ(U256::SignExtend(U256(0), U256(0xFF)), ~U256());
+  EXPECT_EQ(U256::SignExtend(U256(0), U256(0x7F)), U256(0x7F));
+  // Extending with an out-of-range index is the identity.
+  EXPECT_EQ(U256::SignExtend(U256(31), U256(0xFF)), U256(0xFF));
+  EXPECT_EQ(U256::SignExtend(U256(100), U256(0xFF)), U256(0xFF));
+  // Truncation of high bits when the sign bit is clear.
+  EXPECT_EQ(U256::SignExtend(U256(0), U256(0x17F)), U256(0x7F));
+}
+
+TEST(U256Test, ByteAt) {
+  U256 v = U256::FromHex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  EXPECT_EQ(U256::ByteAt(U256(0), v), U256(0x01));
+  EXPECT_EQ(U256::ByteAt(U256(31), v), U256(0x20));
+  EXPECT_EQ(U256::ByteAt(U256(32), v), U256());
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256(1).BitLength(), 1);
+  EXPECT_EQ(U256(0xFF).BitLength(), 8);
+  EXPECT_EQ((U256(1) << 200).BitLength(), 201);
+  EXPECT_EQ((~U256()).BitLength(), 256);
+}
+
+// Property sweep: (a / b) * b + (a % b) == a for random operands of varying widths.
+class U256DivModProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(U256DivModProperty, DivModIdentity) {
+  Rng rng(0x5EED0000 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    int a_limbs = 1 + static_cast<int>(rng.NextBounded(4));
+    int b_limbs = 1 + static_cast<int>(rng.NextBounded(4));
+    U256 a;
+    U256 b;
+    for (int l = 0; l < a_limbs; ++l) {
+      a.set_limb(l, rng.NextU64());
+    }
+    for (int l = 0; l < b_limbs; ++l) {
+      b.set_limb(l, rng.NextU64());
+    }
+    if (b.IsZero()) {
+      b = U256(1);
+    }
+    auto [q, r] = U256::DivMod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256DivModProperty, ::testing::Range(0, 8));
+
+// Property sweep: algebraic identities hold for random words.
+class U256AlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(U256AlgebraProperty, RingIdentities) {
+  Rng rng(0xA16EB7A + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    U256 a(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+    U256 b(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+    U256 c(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, U256());
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_EQ(~(~a), a);
+    EXPECT_EQ(a.Negate() + a, U256());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256AlgebraProperty, ::testing::Range(0, 8));
+
+// Property sweep: shifts match multiplication/division by powers of two.
+class U256ShiftProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(U256ShiftProperty, ShiftMatchesMulDiv) {
+  Rng rng(0x51F7 + GetParam());
+  for (int i = 0; i < 100; ++i) {
+    U256 a(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+    unsigned n = static_cast<unsigned>(rng.NextBounded(256));
+    EXPECT_EQ(a << n, a * U256::Exp(U256(2), U256(n)));
+    EXPECT_EQ(a >> n, a / U256::Exp(U256(2), U256(n)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256ShiftProperty, ::testing::Range(0, 4));
+
+TEST(U256Test, HashDistinguishes) {
+  EXPECT_NE(U256(1).HashValue(), U256(2).HashValue());
+  EXPECT_EQ(U256(7).HashValue(), U256(7).HashValue());
+}
+
+}  // namespace
+}  // namespace frn

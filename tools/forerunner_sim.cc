@@ -1,0 +1,171 @@
+// forerunner_sim — command-line driver for the emulated Forerunner deployment.
+//
+// Usage:
+//   forerunner_sim run [--scenario L1] [--strategy forerunner|baseline|
+//                       perfect|perfect-multi] [--duration SECONDS]
+//                      [--record FILE]
+//   forerunner_sim replay --from FILE [--strategy ...]
+//   forerunner_sim scenarios
+//
+// `run` drives live emulated traffic through a baseline node plus the chosen
+// strategy node and prints the summary; with --record the traffic and chain
+// are captured to a replayable file. `replay` re-executes a recorded run.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/replay/recording.h"
+
+using namespace frn;
+
+namespace {
+
+ExecStrategy ParseStrategy(const std::string& name) {
+  if (name == "baseline") {
+    return ExecStrategy::kBaseline;
+  }
+  if (name == "perfect") {
+    return ExecStrategy::kPerfectMatch;
+  }
+  if (name == "perfect-multi") {
+    return ExecStrategy::kPerfectMulti;
+  }
+  return ExecStrategy::kForerunner;
+}
+
+void PrintSummary(const SimReport& report, size_t node_index) {
+  SpeedupSummary s = Summarize(Compare(report, node_index));
+  std::printf("blocks:               %lu\n", (unsigned long)report.blocks);
+  std::printf("transactions:         %lu\n", (unsigned long)report.txs_packed);
+  std::printf("heard:                %.2f%% (%.2f%% weighted)\n", s.heard_pct,
+              s.heard_weighted_pct);
+  std::printf("constraints satisfied: %.2f%% (%.2f%% weighted)\n", s.satisfied_pct,
+              s.satisfied_weighted_pct);
+  std::printf("effective speedup:    %.2fx\n", s.effective_speedup);
+  std::printf("end-to-end speedup:   %.2fx\n", s.end_to_end_speedup);
+  std::printf("roots consistent:     %s\n", report.roots_consistent ? "yes" : "NO (BUG)");
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  forerunner_sim run [--scenario L1] [--strategy forerunner] "
+               "[--duration SEC] [--record FILE]\n"
+               "  forerunner_sim replay --from FILE [--strategy forerunner]\n"
+               "  forerunner_sim scenarios\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  std::string scenario = "L1";
+  std::string strategy_name = "forerunner";
+  std::string record_path;
+  std::string from_path;
+  double duration = 0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--scenario") {
+      scenario = value;
+    } else if (flag == "--strategy") {
+      strategy_name = value;
+    } else if (flag == "--duration") {
+      duration = std::stod(value);
+    } else if (flag == "--record") {
+      record_path = value;
+    } else if (flag == "--from") {
+      from_path = value;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (command == "scenarios") {
+    std::printf("available scenarios (datasets):\n");
+    for (const std::string& name : AllScenarioNames()) {
+      ScenarioConfig cfg = ScenarioByName(name);
+      std::printf("  %-4s seed=%#lx rate=%.1f tx/s duration=%.0fs contention=%.2f\n",
+                  name.c_str(), (unsigned long)cfg.seed, cfg.tx_rate, cfg.duration,
+                  cfg.contention);
+    }
+    return 0;
+  }
+
+  ExecStrategy strategy = ParseStrategy(strategy_name);
+
+  if (command == "run") {
+    ScenarioConfig cfg = ScenarioByName(scenario);
+    if (duration > 0) {
+      cfg.duration = duration;
+    }
+    std::printf("running scenario %s with strategy '%s'...\n", cfg.name.c_str(),
+                StrategyName(strategy));
+    Workload workload(cfg);
+    auto traffic = workload.GenerateTraffic();
+    DiceSimulator sim(cfg.dice, traffic);
+    auto genesis = [&](StateDb* state) { workload.InitGenesis(state); };
+    auto make_options = [&](ExecStrategy s) {
+      NodeOptions options;
+      options.strategy = s;
+      options.store.cold_read_latency = cfg.cold_read_latency;
+      options.predictor.miners = MinerCandidates(sim.miners());
+      options.predictor.mean_block_interval = cfg.dice.mean_block_interval;
+      return options;
+    };
+    Node baseline(make_options(ExecStrategy::kBaseline), genesis);
+    Node node(make_options(strategy), genesis);
+    SimReport report = sim.Run({&baseline, &node}, cfg.name);
+    PrintSummary(report, 1);
+    if (!record_path.empty()) {
+      Recording recording = CaptureRecording(report, traffic);
+      if (!WriteRecording(recording, record_path)) {
+        std::fprintf(stderr, "failed to write recording to %s\n", record_path.c_str());
+        return 1;
+      }
+      std::printf("recording written to %s (%zu heard txs, %zu blocks)\n",
+                  record_path.c_str(), recording.heard.size(), recording.blocks.size());
+    }
+    return report.roots_consistent ? 0 : 1;
+  }
+
+  if (command == "replay") {
+    if (from_path.empty()) {
+      return Usage();
+    }
+    Recording recording;
+    if (!ReadRecording(from_path, &recording)) {
+      std::fprintf(stderr, "failed to read recording from %s\n", from_path.c_str());
+      return 1;
+    }
+    // The scenario name stored in the recording selects the genesis world.
+    ScenarioConfig cfg = ScenarioByName(recording.scenario);
+    std::printf("replaying %s (%zu blocks) with strategy '%s'...\n",
+                recording.scenario.c_str(), recording.blocks.size(),
+                StrategyName(strategy));
+    Workload workload(cfg);
+    DiceSimulator sim(cfg.dice, {});  // miner candidates for the predictor
+    auto genesis = [&](StateDb* state) { workload.InitGenesis(state); };
+    auto make_options = [&](ExecStrategy s) {
+      NodeOptions options;
+      options.strategy = s;
+      options.store.cold_read_latency = cfg.cold_read_latency;
+      options.predictor.miners = MinerCandidates(sim.miners());
+      options.predictor.mean_block_interval = cfg.dice.mean_block_interval;
+      return options;
+    };
+    Node baseline(make_options(ExecStrategy::kBaseline), genesis);
+    Node node(make_options(strategy), genesis);
+    SimReport report = ReplayRecording(recording, {&baseline, &node});
+    PrintSummary(report, 1);
+    return report.roots_consistent ? 0 : 1;
+  }
+
+  return Usage();
+}
