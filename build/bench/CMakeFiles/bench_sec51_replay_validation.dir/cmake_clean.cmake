@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_replay_validation.dir/bench_sec51_replay_validation.cc.o"
+  "CMakeFiles/bench_sec51_replay_validation.dir/bench_sec51_replay_validation.cc.o.d"
+  "bench_sec51_replay_validation"
+  "bench_sec51_replay_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_replay_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec55_ap_stats.dir/bench_sec55_ap_stats.cc.o"
+  "CMakeFiles/bench_sec55_ap_stats.dir/bench_sec55_ap_stats.cc.o.d"
+  "bench_sec55_ap_stats"
+  "bench_sec55_ap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec55_ap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

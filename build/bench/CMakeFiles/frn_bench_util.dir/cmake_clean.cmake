@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/frn_bench_util.dir/bench_util.cc.o.d"
+  "libfrn_bench_util.a"
+  "libfrn_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

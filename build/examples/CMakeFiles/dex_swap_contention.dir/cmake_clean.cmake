@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_swap_contention.dir/dex_swap_contention.cpp.o"
+  "CMakeFiles/dex_swap_contention.dir/dex_swap_contention.cpp.o.d"
+  "dex_swap_contention"
+  "dex_swap_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_swap_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_node.dir/live_node.cpp.o"
+  "CMakeFiles/live_node.dir/live_node.cpp.o.d"
+  "live_node"
+  "live_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

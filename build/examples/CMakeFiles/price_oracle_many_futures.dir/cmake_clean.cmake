@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_oracle_many_futures.dir/price_oracle_many_futures.cpp.o"
+  "CMakeFiles/price_oracle_many_futures.dir/price_oracle_many_futures.cpp.o.d"
+  "price_oracle_many_futures"
+  "price_oracle_many_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_oracle_many_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

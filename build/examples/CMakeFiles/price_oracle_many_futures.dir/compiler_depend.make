@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for price_oracle_many_futures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for price_oracle_many_futures.
+# This may be replaced when dependencies are built.

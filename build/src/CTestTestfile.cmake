@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("rlp")
+subdirs("trie")
+subdirs("state")
+subdirs("evm")
+subdirs("easm")
+subdirs("contracts")
+subdirs("core")
+subdirs("forerunner")
+subdirs("dice")
+subdirs("workload")
+subdirs("metrics")
+subdirs("replay")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_common.dir/types.cc.o"
+  "CMakeFiles/frn_common.dir/types.cc.o.d"
+  "CMakeFiles/frn_common.dir/u256.cc.o"
+  "CMakeFiles/frn_common.dir/u256.cc.o.d"
+  "libfrn_common.a"
+  "libfrn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

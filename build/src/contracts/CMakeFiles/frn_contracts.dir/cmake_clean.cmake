@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_contracts.dir/contracts.cc.o"
+  "CMakeFiles/frn_contracts.dir/contracts.cc.o.d"
+  "CMakeFiles/frn_contracts.dir/extra_contracts.cc.o"
+  "CMakeFiles/frn_contracts.dir/extra_contracts.cc.o.d"
+  "libfrn_contracts.a"
+  "libfrn_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_core.dir/ap.cc.o"
+  "CMakeFiles/frn_core.dir/ap.cc.o.d"
+  "CMakeFiles/frn_core.dir/sevm.cc.o"
+  "CMakeFiles/frn_core.dir/sevm.cc.o.d"
+  "CMakeFiles/frn_core.dir/trace_builder.cc.o"
+  "CMakeFiles/frn_core.dir/trace_builder.cc.o.d"
+  "libfrn_core.a"
+  "libfrn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_crypto.dir/keccak.cc.o"
+  "CMakeFiles/frn_crypto.dir/keccak.cc.o.d"
+  "libfrn_crypto.a"
+  "libfrn_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_dice.dir/simulator.cc.o"
+  "CMakeFiles/frn_dice.dir/simulator.cc.o.d"
+  "libfrn_dice.a"
+  "libfrn_dice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_dice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_easm.dir/easm.cc.o"
+  "CMakeFiles/frn_easm.dir/easm.cc.o.d"
+  "libfrn_easm.a"
+  "libfrn_easm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_easm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for frn_easm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_evm.dir/evm.cc.o"
+  "CMakeFiles/frn_evm.dir/evm.cc.o.d"
+  "CMakeFiles/frn_evm.dir/opcodes.cc.o"
+  "CMakeFiles/frn_evm.dir/opcodes.cc.o.d"
+  "libfrn_evm.a"
+  "libfrn_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

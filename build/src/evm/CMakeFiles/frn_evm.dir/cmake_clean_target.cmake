@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrn_evm.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_forerunner.dir/accelerator.cc.o"
+  "CMakeFiles/frn_forerunner.dir/accelerator.cc.o.d"
+  "CMakeFiles/frn_forerunner.dir/node.cc.o"
+  "CMakeFiles/frn_forerunner.dir/node.cc.o.d"
+  "CMakeFiles/frn_forerunner.dir/predictor.cc.o"
+  "CMakeFiles/frn_forerunner.dir/predictor.cc.o.d"
+  "CMakeFiles/frn_forerunner.dir/speculator.cc.o"
+  "CMakeFiles/frn_forerunner.dir/speculator.cc.o.d"
+  "libfrn_forerunner.a"
+  "libfrn_forerunner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_forerunner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_metrics.dir/metrics.cc.o"
+  "CMakeFiles/frn_metrics.dir/metrics.cc.o.d"
+  "libfrn_metrics.a"
+  "libfrn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_replay.dir/recording.cc.o"
+  "CMakeFiles/frn_replay.dir/recording.cc.o.d"
+  "libfrn_replay.a"
+  "libfrn_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_rlp.dir/rlp.cc.o"
+  "CMakeFiles/frn_rlp.dir/rlp.cc.o.d"
+  "libfrn_rlp.a"
+  "libfrn_rlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_rlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_state.dir/statedb.cc.o"
+  "CMakeFiles/frn_state.dir/statedb.cc.o.d"
+  "libfrn_state.a"
+  "libfrn_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for frn_state.
+# This may be replaced when dependencies are built.

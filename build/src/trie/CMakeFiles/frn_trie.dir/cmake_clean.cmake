@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_trie.dir/kv_store.cc.o"
+  "CMakeFiles/frn_trie.dir/kv_store.cc.o.d"
+  "CMakeFiles/frn_trie.dir/trie.cc.o"
+  "CMakeFiles/frn_trie.dir/trie.cc.o.d"
+  "libfrn_trie.a"
+  "libfrn_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

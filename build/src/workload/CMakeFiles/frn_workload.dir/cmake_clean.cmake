@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frn_workload.dir/workload.cc.o"
+  "CMakeFiles/frn_workload.dir/workload.cc.o.d"
+  "libfrn_workload.a"
+  "libfrn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bail_paths_test.dir/bail_paths_test.cc.o"
+  "CMakeFiles/bail_paths_test.dir/bail_paths_test.cc.o.d"
+  "bail_paths_test"
+  "bail_paths_test.pdb"
+  "bail_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bail_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/frn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/frn_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/easm/CMakeFiles/frn_easm.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/frn_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/frn_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/frn_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/frn_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/frn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

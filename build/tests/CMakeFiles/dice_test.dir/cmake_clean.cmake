@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_test.dir/dice_test.cc.o"
+  "CMakeFiles/dice_test.dir/dice_test.cc.o.d"
+  "dice_test"
+  "dice_test.pdb"
+  "dice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easm_test.dir/easm_test.cc.o"
+  "CMakeFiles/easm_test.dir/easm_test.cc.o.d"
+  "easm_test"
+  "easm_test.pdb"
+  "easm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_semantics_test.dir/evm_semantics_test.cc.o"
+  "CMakeFiles/evm_semantics_test.dir/evm_semantics_test.cc.o.d"
+  "evm_semantics_test"
+  "evm_semantics_test.pdb"
+  "evm_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_contracts_test.dir/extra_contracts_test.cc.o"
+  "CMakeFiles/extra_contracts_test.dir/extra_contracts_test.cc.o.d"
+  "extra_contracts_test"
+  "extra_contracts_test.pdb"
+  "extra_contracts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_contracts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

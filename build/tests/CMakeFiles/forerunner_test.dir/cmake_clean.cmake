@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forerunner_test.dir/forerunner_test.cc.o"
+  "CMakeFiles/forerunner_test.dir/forerunner_test.cc.o.d"
+  "forerunner_test"
+  "forerunner_test.pdb"
+  "forerunner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forerunner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_create_test.dir/proxy_create_test.cc.o"
+  "CMakeFiles/proxy_create_test.dir/proxy_create_test.cc.o.d"
+  "proxy_create_test"
+  "proxy_create_test.pdb"
+  "proxy_create_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_create_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

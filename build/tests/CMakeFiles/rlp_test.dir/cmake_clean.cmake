@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlp_test.dir/rlp_test.cc.o"
+  "CMakeFiles/rlp_test.dir/rlp_test.cc.o.d"
+  "rlp_test"
+  "rlp_test.pdb"
+  "rlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

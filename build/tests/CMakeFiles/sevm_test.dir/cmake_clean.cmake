@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevm_test.dir/sevm_test.cc.o"
+  "CMakeFiles/sevm_test.dir/sevm_test.cc.o.d"
+  "sevm_test"
+  "sevm_test.pdb"
+  "sevm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

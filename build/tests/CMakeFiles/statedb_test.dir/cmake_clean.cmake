@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statedb_test.dir/statedb_test.cc.o"
+  "CMakeFiles/statedb_test.dir/statedb_test.cc.o.d"
+  "statedb_test"
+  "statedb_test.pdb"
+  "statedb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statedb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

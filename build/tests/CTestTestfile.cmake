@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/u256_test[1]_include.cmake")
+include("/root/repo/build/tests/keccak_test[1]_include.cmake")
+include("/root/repo/build/tests/rlp_test[1]_include.cmake")
+include("/root/repo/build/tests/trie_test[1]_include.cmake")
+include("/root/repo/build/tests/statedb_test[1]_include.cmake")
+include("/root/repo/build/tests/easm_test[1]_include.cmake")
+include("/root/repo/build/tests/evm_test[1]_include.cmake")
+include("/root/repo/build/tests/contracts_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/forerunner_test[1]_include.cmake")
+include("/root/repo/build/tests/dice_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_create_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_contracts_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/evm_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/sevm_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/bail_paths_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forerunner_sim.dir/forerunner_sim.cc.o"
+  "CMakeFiles/forerunner_sim.dir/forerunner_sim.cc.o.d"
+  "forerunner_sim"
+  "forerunner_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forerunner_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
