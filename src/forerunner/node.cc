@@ -1,8 +1,24 @@
 #include "src/forerunner/node.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace frn {
+
+namespace {
+
+size_t ResolveSpecWorkers(const NodeOptions& options) {
+  if (options.strategy == ExecStrategy::kBaseline) {
+    return 1;  // the pool is never used; don't spawn idle threads
+  }
+  if (options.spec_workers != 0) {
+    return options.spec_workers;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
 
 Node::Node(const NodeOptions& options, const std::function<void(StateDb*)>& genesis)
     : options_(options),
@@ -10,7 +26,7 @@ Node::Node(const NodeOptions& options, const std::function<void(StateDb*)>& gene
       trie_(&store_),
       rng_(options.rng_seed),
       predictor_(options.predictor),
-      speculator_(&trie_, options.speculator),
+      spec_pool_(&trie_, options.speculator, ResolveSpecWorkers(options)),
       prefetcher_(&trie_, &shared_cache_) {
   StateDb genesis_state(&trie_, Mpt::EmptyRoot());
   genesis(&genesis_state);
@@ -36,6 +52,11 @@ void Node::RunSpeculationPipeline(double sim_time) {
       pool_, head_, chain_nonces_, head_.gas_limit, &rng_);
   size_t futures_cap =
       (options_.strategy == ExecStrategy::kPerfectMatch) ? 1 : SIZE_MAX;
+  // Fan the fresh predictions out across the worker pool. Each job carries a
+  // copy of the transaction's accumulated speculation state; each tx appears
+  // at most once per round, so jobs are mutually independent and execute
+  // against the same immutable head snapshot.
+  std::vector<SpecJob> jobs;
   for (const TxPrediction& prediction : predictions) {
     // Re-speculate only when the head moved since the last speculation of
     // this transaction.
@@ -44,18 +65,33 @@ void Node::RunSpeculationPipeline(double sim_time) {
       continue;
     }
     speculated_at_root_[prediction.tx.id] = head_root_;
-    TxSpeculation& spec = speculations_[prediction.tx.id];
+    SpecJob job;
+    job.root = head_root_;
+    job.tx = prediction.tx;
+    size_t futures = std::min(prediction.futures.size(), futures_cap);
+    job.futures.assign(prediction.futures.begin(),
+                       prediction.futures.begin() + futures);
+    job.spec = speculations_[prediction.tx.id];
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    return;
+  }
+  std::vector<SpecJobResult> results = spec_pool_.RunBatch(std::move(jobs));
+  total_speculation_wall_seconds_ += spec_pool_.last_batch_wall_seconds();
+  // Merge on the coordinator in submission (= prediction) order: the stat
+  // streams and AP contents come out identical for any worker count.
+  for (SpecJobResult& result : results) {
+    TxSpeculation& spec = speculations_[result.spec.tx_id];
     double prev_cost = spec.synthesis_seconds;
     double prev_exec = spec.plain_exec_seconds;
-    size_t futures = std::min(prediction.futures.size(), futures_cap);
-    for (size_t i = 0; i < futures; ++i) {
-      bool ok = speculator_.SpeculateFuture(head_root_, prediction.tx,
-                                            prediction.futures[i], &spec);
+    spec = std::move(result.spec);
+    for (const SpecFutureOutcome& outcome : result.outcomes) {
       ++futures_speculated_;
-      if (!ok) {
+      if (!outcome.synthesized) {
         ++synthesis_failures_;
       } else {
-        synthesis_stats_.push_back(spec.last_stats);
+        synthesis_stats_.push_back(outcome.stats);
       }
     }
     if (spec.has_ap) {

@@ -15,6 +15,7 @@
 #include "src/forerunner/accelerator.h"
 #include "src/forerunner/predictor.h"
 #include "src/forerunner/prefetcher.h"
+#include "src/forerunner/spec_pool.h"
 
 namespace frn {
 
@@ -50,6 +51,11 @@ struct NodeOptions {
   // Speculation wall time is charged to simulated time scaled by this factor
   // (an AP is only usable if ready before the block executes).
   double speculation_time_scale = 1.0;
+  // Speculation worker threads. 0 = hardware concurrency; 1 runs the pipeline
+  // inline on the coordinator, reproducing the single-threaded behaviour
+  // bit-for-bit. Any count produces identical state roots and statistics:
+  // jobs are merged in prediction order and all RNG stays on the coordinator.
+  size_t spec_workers = 0;
   uint64_t rng_seed = 0xF03E;
 };
 
@@ -78,7 +84,12 @@ class Node {
   uint64_t pool_size() const { return static_cast<uint64_t>(pool_.size()); }
 
   // Aggregate off-critical-path accounting (§5.6).
+  // CPU cost: serial sum over all futures pre-executed, on any worker.
   double total_speculation_seconds() const { return total_speculation_seconds_; }
+  // Modeled wall cost: per pipeline round, the max over workers of their busy
+  // time (== the CPU sum at 1 worker). This is what the speculation phase
+  // costs in wall-clock when idle cores absorb the fan-out.
+  double total_speculation_wall_seconds() const { return total_speculation_wall_seconds_; }
   double total_speculated_exec_seconds() const { return total_speculated_exec_seconds_; }
   uint64_t futures_speculated() const { return futures_speculated_; }
   uint64_t synthesis_failures() const { return synthesis_failures_; }
@@ -100,6 +111,12 @@ class Node {
     return executed_speculations_;
   }
 
+  // Parallel speculation engine introspection.
+  size_t spec_workers() const { return spec_pool_.workers(); }
+  const std::vector<SpecWorkerStats>& spec_worker_stats() const {
+    return spec_pool_.worker_stats();
+  }
+
  private:
   NodeOptions options_;
   KvStore store_;
@@ -111,7 +128,7 @@ class Node {
   Rng rng_;
 
   MultiFuturePredictor predictor_;
-  Speculator speculator_;
+  SpecPool spec_pool_;
   Prefetcher prefetcher_;
 
   std::vector<PendingTx> pool_;
@@ -128,6 +145,7 @@ class Node {
   std::unordered_map<uint64_t, Hash> speculated_at_root_;
 
   double total_speculation_seconds_ = 0;
+  double total_speculation_wall_seconds_ = 0;
   double total_speculated_exec_seconds_ = 0;
   uint64_t futures_speculated_ = 0;
   uint64_t synthesis_failures_ = 0;

@@ -1,0 +1,164 @@
+#include "src/forerunner/spec_pool.h"
+
+#include <ctime>
+
+#include <algorithm>
+
+namespace frn {
+
+namespace {
+
+// CPU time consumed by the calling thread. Unlike a wall clock this is not
+// inflated when executor threads timeshare the machine, which is what makes
+// the max-over-lanes wall model hold on any host.
+double ThreadCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+size_t ResolvePhysical(size_t workers, size_t physical_threads) {
+  if (physical_threads != 0) {
+    return std::min(workers, physical_threads);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, std::min(workers, hw == 0 ? 1 : hw));
+}
+
+}  // namespace
+
+SpecPool::SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers,
+                   size_t physical_threads)
+    : trie_(trie),
+      options_(options),
+      workers_(std::max<size_t>(1, workers)),
+      physical_(ResolvePhysical(workers_, physical_threads)),
+      worker_stats_(workers_) {
+  if (physical_ == 1) {
+    return;  // inline mode: the coordinator thread is the only executor
+  }
+  threads_.reserve(physical_);
+  for (size_t t = 0; t < physical_; ++t) {
+    threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+SpecPool::~SpecPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void SpecPool::ExecuteJob(Speculator* speculator, size_t job_index) {
+  SpecJob& job = (*jobs_)[job_index];
+  SpecJobResult& result = (*results_)[job_index];
+  double cpu_start = ThreadCpuSeconds();
+  {
+    KvStore::StatsScope scope(&result.io);
+    result.spec = std::move(job.spec);
+    result.spec.tx_id = job.tx.id;
+    result.outcomes.reserve(job.futures.size());
+    for (const FutureContext& future : job.futures) {
+      SpecFutureOutcome outcome;
+      outcome.synthesized =
+          speculator->SpeculateFuture(job.root, job.tx, future, &result.spec);
+      if (outcome.synthesized) {
+        outcome.stats = result.spec.last_stats;
+      }
+      result.outcomes.push_back(outcome);
+    }
+  }
+  result.exec_seconds =
+      (ThreadCpuSeconds() - cpu_start) + result.io.deferred_latency_seconds;
+}
+
+std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
+  std::vector<SpecJobResult> results(jobs.size());
+  if (jobs.empty()) {
+    last_batch_wall_seconds_ = 0;
+    return results;
+  }
+
+  if (physical_ == 1) {
+    // Inline path: identical operation order to the pre-pool pipeline.
+    jobs_ = &jobs;
+    results_ = &results;
+    Speculator speculator(trie_, options_);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      ExecuteJob(&speculator, j);
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(mutex_);
+    jobs_ = &jobs;
+    results_ = &results;
+    done_jobs_ = 0;
+    ++batch_seq_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return done_jobs_ == jobs.size(); });
+  }
+  jobs_ = nullptr;
+  results_ = nullptr;
+
+  // Lane accounting on the coordinator: deterministic round-robin assignment
+  // of jobs to modeled lanes, independent of which executor thread ran what.
+  std::vector<double> lane_busy(workers_, 0.0);
+  for (size_t j = 0; j < results.size(); ++j) {
+    size_t lane = j % workers_;
+    SpecJobResult& result = results[j];
+    result.worker = lane;
+    result.queue_seconds = lane_busy[lane];
+    lane_busy[lane] += result.exec_seconds;
+
+    SpecWorkerStats& stats = worker_stats_[lane];
+    ++stats.jobs;
+    stats.futures += result.outcomes.size();
+    stats.busy_seconds += result.exec_seconds;
+    stats.queue_wait_seconds += result.queue_seconds;
+    stats.store_reads += result.io.reads;
+    stats.store_cold_reads += result.io.cold_reads;
+  }
+  last_batch_wall_seconds_ = *std::max_element(lane_busy.begin(), lane_busy.end());
+  return results;
+}
+
+void SpecPool::WorkerLoop(size_t thread_index) {
+  // Each executor owns its Speculator: no mutable state is shared between
+  // executors, only the (reader-safe) trie/store underneath.
+  Speculator speculator(trie_, options_);
+  size_t seen_batch = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Waking requires a *live* batch: an executor whose stripe was empty can
+    // observe the next sequence number only once jobs_ is installed again
+    // (the coordinator may have retired a small batch without ever needing
+    // this executor to wake).
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (batch_seq_ != seen_batch && jobs_ != nullptr);
+    });
+    if (shutdown_) {
+      return;
+    }
+    seen_batch = batch_seq_;
+    size_t n_jobs = jobs_->size();
+    lock.unlock();
+    // Static stripe over the physical executors: disjoint result slots, no
+    // shared claim counter to contend on.
+    size_t done = 0;
+    for (size_t j = thread_index; j < n_jobs; j += physical_) {
+      ExecuteJob(&speculator, j);
+      ++done;
+    }
+    lock.lock();
+    done_jobs_ += done;
+    if (done_jobs_ == n_jobs) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace frn

@@ -1,0 +1,116 @@
+// The parallel speculation engine (paper §4, "free" speculation on idle
+// cores): a persistent pool of worker threads that fans pending-pool futures
+// out across N workers, each pre-executing against a read-only snapshot of
+// the head state. The coordinator submits one job per predicted transaction,
+// blocks until the batch drains, and merges results back in submission order,
+// so every derived statistic is identical for any worker count.
+//
+// Two thread counts are deliberately distinct:
+//  - `workers` is the MODELED lane count: jobs are assigned to lanes
+//    round-robin by index, and the modeled wall time of a batch is the max
+//    over lanes of their summed job costs — the paper's claim that
+//    speculation is off the critical path as long as cores are available.
+//  - the PHYSICAL executor threads are capped at the host's hardware
+//    concurrency (never oversubscribe), so per-job cost measurements — thread
+//    CPU time plus deferred cold-read latency — stay clean even when the
+//    modeled lane count exceeds the machine's cores.
+#ifndef SRC_FORERUNNER_SPEC_POOL_H_
+#define SRC_FORERUNNER_SPEC_POOL_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/forerunner/speculator.h"
+
+namespace frn {
+
+// One unit of work: pre-execute every predicted future of one pending
+// transaction against the immutable snapshot `root`, starting from the
+// transaction's accumulated speculation state (copied in by the coordinator,
+// so workers never touch shared mutable speculation state).
+struct SpecJob {
+  Hash root;
+  Transaction tx;
+  std::vector<FutureContext> futures;
+  TxSpeculation spec;
+};
+
+// Per-future synthesis outcome in future order; the coordinator replays these
+// to reproduce the exact serial ordering of the §5.5 / Figure 15 stat streams.
+struct SpecFutureOutcome {
+  bool synthesized = false;
+  SynthesisStats stats;
+};
+
+struct SpecJobResult {
+  TxSpeculation spec;
+  std::vector<SpecFutureOutcome> outcomes;
+  // Modeled cost of this job: the executing thread's CPU time plus the
+  // deferred cold-read latency (what the job would cost wall-clock on an idle
+  // core, independent of how the OS schedules the executor threads).
+  double exec_seconds = 0;
+  // Modeled start offset of the job on its lane: the summed exec_seconds of
+  // the jobs ordered before it on the same lane within the batch.
+  double queue_seconds = 0;
+  size_t worker = 0;  // modeled lane (= job index % workers), deterministic
+  KvStoreStats io;    // store traffic of this job (per-thread attribution)
+};
+
+class SpecPool {
+ public:
+  // `workers` >= 1 modeled lanes. `physical_threads` = 0 spawns
+  // min(workers, hardware concurrency) executor threads; a nonzero value
+  // overrides that cap (tests use this to force real concurrency). With one
+  // physical thread no threads are spawned and RunBatch executes jobs inline
+  // in submission order — bit-for-bit the original single-threaded pipeline.
+  SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers,
+           size_t physical_threads = 0);
+  ~SpecPool();
+  SpecPool(const SpecPool&) = delete;
+  SpecPool& operator=(const SpecPool&) = delete;
+
+  size_t workers() const { return workers_; }
+  size_t physical_threads() const { return physical_; }
+
+  // Executes the batch, blocking until every job finished. Results come back
+  // in job order; lane attribution (round-robin by job index) and hence all
+  // per-lane accounting is deterministic for a given worker count.
+  std::vector<SpecJobResult> RunBatch(std::vector<SpecJob> jobs);
+
+  // Modeled wall time of the last batch: max over lanes of the job costs
+  // assigned to them (== the serial sum when workers == 1).
+  double last_batch_wall_seconds() const { return last_batch_wall_seconds_; }
+
+  // Cumulative per-lane accounting across all batches.
+  const std::vector<SpecWorkerStats>& worker_stats() const { return worker_stats_; }
+
+ private:
+  void WorkerLoop(size_t thread_index);
+  // Executes job `job_index` of the current batch into its result slot,
+  // measuring modeled cost and store traffic. Called without the pool lock.
+  void ExecuteJob(Speculator* speculator, size_t job_index);
+
+  Mpt* trie_;
+  Speculator::Options options_;
+  size_t workers_;   // modeled lanes
+  size_t physical_;  // executor threads actually running jobs
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a batch (or shutdown) is ready
+  std::condition_variable done_cv_;  // coordinator: the batch drained
+  bool shutdown_ = false;
+  std::vector<SpecJob>* jobs_ = nullptr;
+  std::vector<SpecJobResult>* results_ = nullptr;
+  size_t batch_seq_ = 0;  // bumped per batch; wakes the workers
+  size_t done_jobs_ = 0;
+
+  double last_batch_wall_seconds_ = 0;
+  std::vector<SpecWorkerStats> worker_stats_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_FORERUNNER_SPEC_POOL_H_

@@ -52,7 +52,7 @@ void MergeReadSet(ReadSet* into, const ReadSet& from) {
 }  // namespace
 
 bool Speculator::SpeculateFuture(const Hash& root, const Transaction& tx,
-                                 const FutureContext& future, TxSpeculation* spec) {
+                                 const FutureContext& future, TxSpeculation* spec) const {
   Stopwatch total;
   spec->tx_id = tx.id;
   ++spec->futures;

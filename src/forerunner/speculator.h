@@ -58,6 +58,10 @@ struct TxSpeculation {
   double available_at = 0;           // sim time when the AP is usable
 };
 
+// The speculator holds no mutable state of its own: all accumulation happens
+// in the caller-owned TxSpeculation, and the trie/store underneath is safe
+// for concurrent readers. Per-worker instances of the parallel speculation
+// engine therefore run side by side against the same head snapshot.
 class Speculator {
  public:
   struct Options {
@@ -72,7 +76,7 @@ class Speculator {
   // folds the resulting AP / record / read set into `spec`. Returns false if
   // AP synthesis bailed (the record and read set may still have been added).
   bool SpeculateFuture(const Hash& root, const Transaction& tx, const FutureContext& future,
-                       TxSpeculation* spec);
+                       TxSpeculation* spec) const;
 
  private:
   Mpt* trie_;

@@ -15,6 +15,37 @@ double Samples::Percentile(double p) const {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+SpecWorkerStats SumSpecWorkerStats(const std::vector<SpecWorkerStats>& workers) {
+  SpecWorkerStats sum;
+  for (const SpecWorkerStats& w : workers) {
+    sum.jobs += w.jobs;
+    sum.futures += w.futures;
+    sum.busy_seconds += w.busy_seconds;
+    sum.queue_wait_seconds += w.queue_wait_seconds;
+    sum.store_reads += w.store_reads;
+    sum.store_cold_reads += w.store_cold_reads;
+  }
+  return sum;
+}
+
+double SpecWorkerImbalance(const std::vector<SpecWorkerStats>& workers) {
+  double busiest = 0;
+  double total = 0;
+  size_t active = 0;
+  for (const SpecWorkerStats& w : workers) {
+    if (w.jobs == 0) {
+      continue;
+    }
+    busiest = std::max(busiest, w.busy_seconds);
+    total += w.busy_seconds;
+    ++active;
+  }
+  if (active == 0 || total <= 0) {
+    return 1.0;
+  }
+  return busiest / (total / static_cast<double>(active));
+}
+
 std::vector<std::pair<double, double>> ReverseCdf(const std::vector<double>& samples,
                                                   double x_step, double x_max) {
   std::vector<double> sorted = samples;

@@ -81,6 +81,33 @@ class Histogram {
   size_t total_ = 0;
 };
 
+// Per-worker accounting for the parallel speculation engine (§5.6): how much
+// pre-execution each worker performed, how long jobs waited in the batch
+// queue, and the snapshot-cache (hot trie-node) hit rate it observed.
+struct SpecWorkerStats {
+  uint64_t jobs = 0;              // transactions pre-executed by this worker
+  uint64_t futures = 0;           // futures pre-executed by this worker
+  double busy_seconds = 0;        // wall time spent executing jobs
+  double queue_wait_seconds = 0;  // sum over jobs of (start - batch submit)
+  uint64_t store_reads = 0;       // trie-node reads during this worker's jobs
+  uint64_t store_cold_reads = 0;  // ... of which paid the miss latency
+
+  // Fraction of this worker's snapshot reads served hot (no latency charge).
+  double SnapshotHitRate() const {
+    return store_reads == 0
+               ? 0.0
+               : static_cast<double>(store_reads - store_cold_reads) /
+                     static_cast<double>(store_reads);
+  }
+};
+
+// Element-wise sum over workers.
+SpecWorkerStats SumSpecWorkerStats(const std::vector<SpecWorkerStats>& workers);
+
+// Load imbalance: busiest worker's busy time over the mean busy time (1.0 is
+// perfectly balanced; only workers that executed at least one job count).
+double SpecWorkerImbalance(const std::vector<SpecWorkerStats>& workers);
+
 // Reverse CDF: fraction of samples strictly exceeding x, evaluated on a grid.
 std::vector<std::pair<double, double>> ReverseCdf(const std::vector<double>& samples,
                                                   double x_step, double x_max);

@@ -1,6 +1,7 @@
 #include "src/state/statedb.h"
 
 #include <cassert>
+#include <mutex>
 
 #include "src/crypto/keccak.h"
 #include "src/rlp/rlp.h"
@@ -8,12 +9,19 @@
 namespace frn {
 
 void SharedStateCache::Reset(const Hash& root) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   root_ = root;
   accounts_.clear();
   storage_.clear();
 }
 
+Hash SharedStateCache::root() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return root_;
+}
+
 std::optional<Account> SharedStateCache::GetAccount(const Address& addr) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = accounts_.find(addr);
   if (it == accounts_.end()) {
     return std::nullopt;
@@ -22,10 +30,12 @@ std::optional<Account> SharedStateCache::GetAccount(const Address& addr) const {
 }
 
 void SharedStateCache::PutAccount(const Address& addr, const Account& account) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   accounts_.emplace(addr, account);
 }
 
 std::optional<U256> SharedStateCache::GetStorage(const Address& addr, const U256& key) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = storage_.find(SlotKey{addr, key});
   if (it == storage_.end()) {
     return std::nullopt;
@@ -34,7 +44,18 @@ std::optional<U256> SharedStateCache::GetStorage(const Address& addr, const U256
 }
 
 void SharedStateCache::PutStorage(const Address& addr, const U256& key, const U256& value) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   storage_.emplace(SlotKey{addr, key}, value);
+}
+
+size_t SharedStateCache::account_entries() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return accounts_.size();
+}
+
+size_t SharedStateCache::storage_entries() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return storage_.size();
 }
 
 StateDb::StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache)

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,18 +29,23 @@ struct Account {
 // Values read ahead of time by the prefetcher, shared between the speculative
 // and the critical-path StateDB instances. All entries are valid only for the
 // state root they were read at.
+//
+// Thread safety: lookups take a shared lock so speculation workers can read
+// concurrently; inserts and the per-block Reset take an exclusive lock (the
+// single-writer commit path). A reader that races a Reset simply misses and
+// falls back to the trie, which is always correct.
 class SharedStateCache {
  public:
   void Reset(const Hash& root);
-  const Hash& root() const { return root_; }
+  Hash root() const;
 
   std::optional<Account> GetAccount(const Address& addr) const;
   void PutAccount(const Address& addr, const Account& account);
   std::optional<U256> GetStorage(const Address& addr, const U256& key) const;
   void PutStorage(const Address& addr, const U256& key, const U256& value);
 
-  size_t account_entries() const { return accounts_.size(); }
-  size_t storage_entries() const { return storage_.size(); }
+  size_t account_entries() const;
+  size_t storage_entries() const;
 
  private:
   struct SlotKey {
@@ -53,6 +59,7 @@ class SharedStateCache {
     }
   };
 
+  mutable std::shared_mutex mutex_;
   Hash root_;
   std::unordered_map<Address, Account, AddressHasher> accounts_;
   std::unordered_map<SlotKey, U256, SlotKeyHasher> storage_;

@@ -1,6 +1,16 @@
 #include "src/trie/kv_store.h"
 
+#include <mutex>
+
 namespace frn {
+
+namespace {
+
+// Per-thread stats sink installed by KvStore::StatsScope. A worker thread only
+// speculates against one store at a time, so a single slot suffices.
+thread_local KvStoreStats* tls_stats_sink = nullptr;
+
+}  // namespace
 
 void SpinFor(std::chrono::nanoseconds duration) {
   auto end = std::chrono::steady_clock::now() + duration;
@@ -9,35 +19,108 @@ void SpinFor(std::chrono::nanoseconds duration) {
   }
 }
 
+KvStore::StatsScope::StatsScope(KvStoreStats* sink) : previous_(tls_stats_sink) {
+  tls_stats_sink = sink;
+}
+
+KvStore::StatsScope::~StatsScope() { tls_stats_sink = previous_; }
+
+KvStore::HotShard& KvStore::ShardFor(const Hash& key) const {
+  return hot_[key.bytes()[0] % kHotShards];
+}
+
 std::optional<Bytes> KvStore::Get(const Hash& key) {
-  ++stats_.reads;
-  auto it = data_.find(key);
-  if (it == data_.end()) {
-    return std::nullopt;
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_stats_sink != nullptr) {
+    ++tls_stats_sink->reads;
   }
-  if (!hot_.contains(key)) {
-    ++stats_.cold_reads;
-    SpinFor(options_.cold_read_latency);
+  std::optional<Bytes> value;
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+      return std::nullopt;
+    }
+    value = it->second;
+  }
+  if (!IsHot(key)) {
+    // Two workers missing the same cold key both pay the latency, as two real
+    // threads would both stall on the same uncached disk page. Under a
+    // StatsScope the cost is charged to the scope's accounting instead of
+    // physically spun, so worker busy time stays scheduler-independent.
+    cold_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (tls_stats_sink != nullptr) {
+      ++tls_stats_sink->cold_reads;
+      tls_stats_sink->deferred_latency_seconds +=
+          std::chrono::duration<double>(options_.cold_read_latency).count();
+    } else {
+      SpinFor(options_.cold_read_latency);
+    }
     Touch(key);
   }
-  return it->second;
+  return value;
 }
 
 void KvStore::Put(const Hash& key, Bytes value) {
-  ++stats_.writes;
-  data_[key] = std::move(value);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_stats_sink != nullptr) {
+    ++tls_stats_sink->writes;
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mutex_);
+    data_[key] = std::move(value);
+  }
   Touch(key);
+}
+
+bool KvStore::Contains(const Hash& key) const {
+  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  return data_.contains(key);
 }
 
 void KvStore::Warm(const Hash& key) { Touch(key); }
 
+bool KvStore::IsHot(const Hash& key) const {
+  HotShard& shard = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  return shard.keys.contains(key);
+}
+
+void KvStore::CoolAll() {
+  for (HotShard& shard : hot_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.keys.clear();
+  }
+}
+
+KvStoreStats KvStore::stats() const {
+  KvStoreStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.cold_reads = cold_reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void KvStore::ResetStats() {
+  reads_.store(0, std::memory_order_relaxed);
+  cold_reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+}
+
+size_t KvStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  return data_.size();
+}
+
 void KvStore::Touch(const Hash& key) {
-  if (hot_.size() >= options_.hot_set_capacity) {
+  HotShard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (shard.keys.size() >= std::max<size_t>(1, options_.hot_set_capacity / kHotShards)) {
     // Cheap wholesale eviction keeps the model simple; correctness does not
     // depend on which entries stay hot, only on cold reads costing time.
-    hot_.clear();
+    shard.keys.clear();
   }
-  hot_.insert(key);
+  shard.keys.insert(key);
 }
 
 }  // namespace frn

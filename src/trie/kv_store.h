@@ -3,12 +3,23 @@
 // lookups on the critical path pay disk I/O + decode + key-value lookup costs;
 // here those costs are charged as a calibrated busy-wait on cold reads so that
 // warming the cache off the critical path yields a real wall-clock win.
+//
+// Thread safety: the store serves concurrent readers (speculation workers
+// executing against immutable head snapshots) alongside a single writer (the
+// coordinator committing a block, or a speculative SetCode storing a
+// content-addressed code blob). The blob map is guarded by a shared mutex
+// (shared for Get/Contains, exclusive for Put); the hot set is sharded by key
+// so worker threads touching disjoint trie paths rarely contend; statistics
+// are atomics.
 #ifndef SRC_TRIE_KV_STORE_H_
 #define SRC_TRIE_KV_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -17,13 +28,19 @@
 namespace frn {
 
 // Busy-waits for the given duration (models I/O latency without yielding,
-// matching the single-threaded discrete-time benchmark methodology).
+// matching the discrete-time benchmark methodology: the cost lands on the
+// calling thread's wall clock whether it is the critical path or a worker).
 void SpinFor(std::chrono::nanoseconds duration);
 
 struct KvStoreStats {
   uint64_t reads = 0;
   uint64_t cold_reads = 0;   // reads that paid the miss latency
   uint64_t writes = 0;
+  // Cold-read latency charged to the accounting model instead of physically
+  // spun. Threads under a StatsScope (speculation workers) accumulate the
+  // miss cost here so their modeled busy time includes it exactly once,
+  // independent of how the OS schedules the worker threads.
+  double deferred_latency_seconds = 0;
 };
 
 // In-memory content-addressed store. A bounded "hot set" models the OS page
@@ -42,24 +59,56 @@ class KvStore {
   std::optional<Bytes> Get(const Hash& key);
   // Inserts a node blob; newly written nodes are hot.
   void Put(const Hash& key, Bytes value);
-  bool Contains(const Hash& key) const { return data_.contains(key); }
+  bool Contains(const Hash& key) const;
   // Marks a key hot without charging latency (prefetch path).
   void Warm(const Hash& key);
-  bool IsHot(const Hash& key) const { return hot_.contains(key); }
+  bool IsHot(const Hash& key) const;
   // Evicts the whole hot set (e.g. between benchmark phases).
-  void CoolAll() { hot_.clear(); }
+  void CoolAll();
 
-  const KvStoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = KvStoreStats{}; }
-  size_t size() const { return data_.size(); }
+  // Snapshot of the global counters (consistent enough for reporting; the
+  // counters are independent atomics).
+  KvStoreStats stats() const;
+  void ResetStats();
+  size_t size() const;
+
+  // Routes this thread's read counters additionally into `sink` for the
+  // lifetime of the scope. Speculation workers use this to attribute
+  // cache-hit rates per worker without cross-thread sampling races. While a
+  // scope is installed, cold reads defer their latency into the sink instead
+  // of busy-waiting: off-critical-path time is charged by the model, not by
+  // physically stalling a worker.
+  class StatsScope {
+   public:
+    explicit StatsScope(KvStoreStats* sink);
+    ~StatsScope();
+    StatsScope(const StatsScope&) = delete;
+    StatsScope& operator=(const StatsScope&) = delete;
+
+   private:
+    KvStoreStats* previous_;
+  };
 
  private:
+  // The hot set is sharded to keep speculation workers from serializing on a
+  // single lock; capacity is enforced per shard with the same wholesale
+  // eviction as before (correctness never depends on which entries stay hot).
+  static constexpr size_t kHotShards = 16;
+  struct HotShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_set<Hash, HashHasher> keys;
+  };
+
+  HotShard& ShardFor(const Hash& key) const;
   void Touch(const Hash& key);
 
   Options options_;
+  mutable std::shared_mutex data_mutex_;
   std::unordered_map<Hash, Bytes, HashHasher> data_;
-  std::unordered_set<Hash, HashHasher> hot_;
-  KvStoreStats stats_;
+  mutable std::array<HotShard, kHotShards> hot_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> cold_reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace frn

@@ -1,0 +1,215 @@
+// Determinism under parallelism: the parallel speculation engine must produce
+// identical simulation outcomes — state roots, per-tx acceleration outcomes,
+// AP statistics and the Figure 15 synthesis-stat stream — for any worker
+// count, because jobs execute against an immutable head snapshot and merge in
+// prediction order on the coordinator. Also covers the SpecPool unit behaviour
+// (batch draining, modeled wall time, per-worker accounting).
+#include "src/forerunner/spec_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace frn {
+namespace {
+
+ScenarioConfig SmallScenario(uint64_t seed = 0x5bec) {
+  ScenarioConfig cfg = ScenarioByName("L1");
+  cfg.seed = seed;
+  cfg.duration = 30;
+  cfg.tx_rate = 2.5;
+  cfg.n_users = 60;
+  cfg.cold_read_latency = std::chrono::nanoseconds(0);
+  cfg.dice.seed = seed * 31 + 7;
+  return cfg;
+}
+
+struct RunOutcome {
+  SimReport report;
+  Hash head_root;
+  uint64_t futures_speculated = 0;
+  uint64_t synthesis_failures = 0;
+  std::vector<SynthesisStats> synthesis_stats;
+  std::vector<ApStats> ap_stats;
+  std::vector<Node::SpecSummary> executed;
+};
+
+RunOutcome RunWithWorkers(size_t workers, uint64_t seed = 0x5bec) {
+  ScenarioConfig cfg = SmallScenario(seed);
+  Workload workload(cfg);
+  auto traffic = workload.GenerateTraffic();
+  DiceSimulator sim(cfg.dice, traffic);
+  auto genesis = [&](StateDb* state) { workload.InitGenesis(state); };
+
+  auto make_options = [&](ExecStrategy strategy) {
+    NodeOptions options;
+    options.strategy = strategy;
+    options.store.cold_read_latency = cfg.cold_read_latency;
+    options.predictor.miners = MinerCandidates(sim.miners());
+    options.predictor.mean_block_interval = cfg.dice.mean_block_interval;
+    options.spec_workers = workers;
+    // Decouple AP availability from measured wall time so the comparison
+    // across worker counts is exact (threading changes timings, never values).
+    options.speculation_time_scale = 0;
+    return options;
+  };
+
+  Node baseline(make_options(ExecStrategy::kBaseline), genesis);
+  Node forerunner(make_options(ExecStrategy::kForerunner), genesis);
+  RunOutcome out;
+  out.report = sim.Run({&baseline, &forerunner}, cfg.name);
+  out.head_root = forerunner.head_root();
+  out.futures_speculated = forerunner.futures_speculated();
+  out.synthesis_failures = forerunner.synthesis_failures();
+  out.synthesis_stats = forerunner.synthesis_stats();
+  out.ap_stats = forerunner.ap_stats();
+  out.executed = forerunner.executed_speculations();
+  return out;
+}
+
+void ExpectSameOutcome(const RunOutcome& a, const RunOutcome& b, size_t workers) {
+  SCOPED_TRACE(testing::Message() << "workers=" << workers);
+  EXPECT_TRUE(a.report.roots_consistent);
+  EXPECT_TRUE(b.report.roots_consistent);
+  EXPECT_EQ(a.head_root, b.head_root);
+  EXPECT_EQ(a.report.blocks, b.report.blocks);
+  EXPECT_EQ(a.futures_speculated, b.futures_speculated);
+  EXPECT_EQ(a.synthesis_failures, b.synthesis_failures);
+
+  // Per-tx acceleration outcomes on the Forerunner node (node 1).
+  const auto& ra = a.report.nodes[1].records;
+  const auto& rb = b.report.nodes[1].records;
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].tx_id, rb[i].tx_id) << "record " << i;
+    EXPECT_EQ(ra[i].speculated, rb[i].speculated) << "tx " << ra[i].tx_id;
+    EXPECT_EQ(ra[i].accelerated, rb[i].accelerated) << "tx " << ra[i].tx_id;
+    EXPECT_EQ(ra[i].perfect, rb[i].perfect) << "tx " << ra[i].tx_id;
+    EXPECT_EQ(ra[i].gas_used, rb[i].gas_used) << "tx " << ra[i].tx_id;
+    EXPECT_EQ(ra[i].status, rb[i].status) << "tx " << ra[i].tx_id;
+    EXPECT_EQ(ra[i].instrs_executed, rb[i].instrs_executed) << "tx " << ra[i].tx_id;
+    EXPECT_EQ(ra[i].instrs_skipped, rb[i].instrs_skipped) << "tx " << ra[i].tx_id;
+  }
+
+  // The Figure 15 synthesis-stat stream, element-wise.
+  ASSERT_EQ(a.synthesis_stats.size(), b.synthesis_stats.size());
+  for (size_t i = 0; i < a.synthesis_stats.size(); ++i) {
+    EXPECT_EQ(a.synthesis_stats[i].evm_trace_len, b.synthesis_stats[i].evm_trace_len);
+    EXPECT_EQ(a.synthesis_stats[i].final_total, b.synthesis_stats[i].final_total);
+    EXPECT_EQ(a.synthesis_stats[i].final_fast_path, b.synthesis_stats[i].final_fast_path);
+    EXPECT_EQ(a.synthesis_stats[i].guards_inserted, b.synthesis_stats[i].guards_inserted);
+  }
+
+  // The §5.5 AP-stat stream, element-wise.
+  ASSERT_EQ(a.ap_stats.size(), b.ap_stats.size());
+  for (size_t i = 0; i < a.ap_stats.size(); ++i) {
+    EXPECT_EQ(a.ap_stats[i].paths, b.ap_stats[i].paths);
+    EXPECT_EQ(a.ap_stats[i].nodes, b.ap_stats[i].nodes);
+    EXPECT_EQ(a.ap_stats[i].guard_nodes, b.ap_stats[i].guard_nodes);
+    EXPECT_EQ(a.ap_stats[i].shortcut_nodes, b.ap_stats[i].shortcut_nodes);
+    EXPECT_EQ(a.ap_stats[i].memo_entries, b.ap_stats[i].memo_entries);
+  }
+
+  ASSERT_EQ(a.executed.size(), b.executed.size());
+  for (size_t i = 0; i < a.executed.size(); ++i) {
+    EXPECT_EQ(a.executed[i].tx_id, b.executed[i].tx_id);
+    EXPECT_EQ(a.executed[i].futures, b.executed[i].futures);
+    EXPECT_EQ(a.executed[i].paths, b.executed[i].paths);
+  }
+}
+
+TEST(SpecPoolDeterminismTest, IdenticalOutcomesForWorkerCounts128) {
+  RunOutcome one = RunWithWorkers(1);
+  EXPECT_GT(one.report.blocks, 0u);
+  EXPECT_GT(one.futures_speculated, 0u);
+  RunOutcome two = RunWithWorkers(2);
+  RunOutcome eight = RunWithWorkers(8);
+  ExpectSameOutcome(one, two, 2);
+  ExpectSameOutcome(one, eight, 8);
+}
+
+TEST(SpecPoolTest, WorkerAccountingAndWallTime) {
+  ScenarioConfig cfg = SmallScenario(0x1111);
+  Workload workload(cfg);
+  KvStore store(KvStore::Options{.cold_read_latency = std::chrono::nanoseconds(0)});
+  Mpt trie(&store);
+  StateDb genesis(&trie, Mpt::EmptyRoot());
+  workload.InitGenesis(&genesis);
+  Hash root = genesis.Commit();
+
+  auto traffic = workload.GenerateTraffic();
+  ASSERT_GT(traffic.size(), 8u);
+  BlockContext header;
+  header.number = 1;
+  header.timestamp = cfg.dice.base_timestamp + 13;
+  header.gas_limit = cfg.dice.block_gas_limit;
+
+  auto make_jobs = [&]() {
+    std::vector<SpecJob> jobs;
+    for (size_t i = 0; i < 8; ++i) {
+      SpecJob job;
+      job.root = root;
+      job.tx = traffic[i].tx;
+      job.futures.push_back(FutureContext{header, {}});
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+
+  // Force four physical executor threads (regardless of host cores) so the
+  // threaded path — and TSan coverage of it — is exercised.
+  SpecPool pool(&trie, Speculator::Options{}, 4, 4);
+  EXPECT_EQ(pool.workers(), 4u);
+  EXPECT_EQ(pool.physical_threads(), 4u);
+  std::vector<SpecJobResult> results = pool.RunBatch(make_jobs());
+  ASSERT_EQ(results.size(), 8u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].spec.tx_id, traffic[i].tx.id) << "result order preserved";
+    EXPECT_EQ(results[i].spec.futures, 1u);
+    EXPECT_EQ(results[i].worker, i % 4) << "round-robin assignment";
+  }
+  // All jobs are accounted to exactly one worker, and the modeled batch wall
+  // time is the busiest worker, bounded by the serial sum.
+  SpecWorkerStats sum = SumSpecWorkerStats(pool.worker_stats());
+  EXPECT_EQ(sum.jobs, 8u);
+  EXPECT_EQ(sum.futures, 8u);
+  EXPECT_GT(pool.last_batch_wall_seconds(), 0.0);
+  EXPECT_LE(pool.last_batch_wall_seconds(), sum.busy_seconds + 1e-12);
+  EXPECT_GE(sum.store_reads, sum.store_cold_reads);
+
+  // The single-worker pool reports wall == serial sum for one batch.
+  SpecPool serial(&trie, Speculator::Options{}, 1);
+  std::vector<SpecJobResult> serial_results = serial.RunBatch(make_jobs());
+  ASSERT_EQ(serial_results.size(), 8u);
+  double serial_sum = 0;
+  for (const SpecJobResult& r : serial_results) {
+    EXPECT_EQ(r.worker, 0u);
+    serial_sum += r.exec_seconds;
+  }
+  EXPECT_NEAR(serial.last_batch_wall_seconds(), serial_sum, 1e-9);
+
+  // Speculation content is independent of the executing worker.
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].spec.has_ap, serial_results[i].spec.has_ap);
+    EXPECT_EQ(results[i].spec.records.size(), serial_results[i].spec.records.size());
+    EXPECT_EQ(results[i].outcomes.size(), serial_results[i].outcomes.size());
+    for (size_t f = 0; f < results[i].outcomes.size(); ++f) {
+      EXPECT_EQ(results[i].outcomes[f].synthesized,
+                serial_results[i].outcomes[f].synthesized);
+      EXPECT_EQ(results[i].outcomes[f].stats.final_total,
+                serial_results[i].outcomes[f].stats.final_total);
+    }
+  }
+}
+
+TEST(SpecPoolTest, EmptyBatchIsANoOp) {
+  KvStore store(KvStore::Options{.cold_read_latency = std::chrono::nanoseconds(0)});
+  Mpt trie(&store);
+  SpecPool pool(&trie, Speculator::Options{}, 2);
+  std::vector<SpecJobResult> results = pool.RunBatch({});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(pool.last_batch_wall_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace frn

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the repo with ThreadSanitizer (-DFRN_SANITIZE=thread) into build-tsan/
+# and runs the concurrency-sensitive tests: the SharedStateCache / KvStore
+# stress test, the parallel speculation engine determinism test, and the full
+# forerunner node test. Pass --all to run the entire ctest suite under TSan
+# instead (slow).
+#
+# Usage:  tools/run_tsan.sh [--all]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -S "${repo_root}" -B "${build_dir}" -DFRN_SANITIZE=thread >/dev/null
+cmake --build "${build_dir}" -j"$(nproc)" --target \
+  concurrency_stress_test spec_pool_test forerunner_test
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+if [[ "${1:-}" == "--all" ]]; then
+  cmake --build "${build_dir}" -j"$(nproc)"
+  (cd "${build_dir}" && ctest --output-on-failure)
+else
+  for test in concurrency_stress_test spec_pool_test forerunner_test; do
+    echo "=== TSan: ${test} ==="
+    "${build_dir}/tests/${test}"
+  done
+fi
+
+echo "TSan run clean."
