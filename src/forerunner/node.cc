@@ -83,7 +83,7 @@ void Node::RunSpeculationPipeline(double sim_time) {
   // streams and AP contents come out identical for any worker count.
   for (SpecJobResult& result : results) {
     TxSpeculation& spec = speculations_[result.spec.tx_id];
-    double prev_cost = spec.synthesis_seconds;
+    bool speculated_before = spec.futures > 0;
     double prev_exec = spec.plain_exec_seconds;
     spec = std::move(result.spec);
     for (const SpecFutureOutcome& outcome : result.outcomes) {
@@ -97,13 +97,19 @@ void Node::RunSpeculationPipeline(double sim_time) {
     if (spec.has_ap) {
       ap_stats_.push_back(spec.ap.stats());
     }
-    // Charge this round's wall time to simulated availability. An AP merged
-    // in an earlier round stays usable, so availability never regresses.
-    double round_cost = spec.synthesis_seconds - prev_cost;
+    // Charge this round's modeled cost to simulated availability: the
+    // executing thread's CPU time plus the deferred cold-read latency — the
+    // same store-miss stalls the pre-pool pipeline physically spun through,
+    // now charged by the accounting model so the cost is independent of how
+    // the OS schedules the executor threads. An AP merged in an earlier round
+    // stays usable, so availability never regresses. Note this is still a
+    // measurement: with speculation_time_scale > 0, AP readiness varies run
+    // to run (at any worker count); scale = 0 makes outcomes exact.
+    double round_cost = result.exec_seconds;
     double candidate = sim_time + round_cost * options_.speculation_time_scale;
     spec.available_at =
-        (prev_cost > 0) ? std::min(spec.available_at, candidate) : candidate;
-    total_speculation_seconds_ += spec.synthesis_seconds - prev_cost;
+        speculated_before ? std::min(spec.available_at, candidate) : candidate;
+    total_speculation_seconds_ += round_cost;
     total_speculated_exec_seconds_ += spec.plain_exec_seconds - prev_exec;
     // Prefetch the union read set for the current head.
     if (options_.enable_prefetch) {

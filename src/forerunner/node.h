@@ -52,9 +52,13 @@ struct NodeOptions {
   // (an AP is only usable if ready before the block executes).
   double speculation_time_scale = 1.0;
   // Speculation worker threads. 0 = hardware concurrency; 1 runs the pipeline
-  // inline on the coordinator, reproducing the single-threaded behaviour
-  // bit-for-bit. Any count produces identical state roots and statistics:
-  // jobs are merged in prediction order and all RNG stays on the coordinator.
+  // inline on the coordinator in the exact pre-pool operation order. Any
+  // count produces identical state roots, AP/constraint contents and counted
+  // statistics: jobs are merged in prediction order and all RNG stays on the
+  // coordinator. Timing-derived quantities (speculation seconds, and with
+  // speculation_time_scale > 0 therefore AP availability and acceleration
+  // outcomes) are measurements and vary run to run at any worker count;
+  // set speculation_time_scale = 0 for exact cross-count reproducibility.
   size_t spec_workers = 0;
   uint64_t rng_seed = 0xF03E;
 };
@@ -84,7 +88,9 @@ class Node {
   uint64_t pool_size() const { return static_cast<uint64_t>(pool_.size()); }
 
   // Aggregate off-critical-path accounting (§5.6).
-  // CPU cost: serial sum over all futures pre-executed, on any worker.
+  // CPU cost: serial sum over all jobs of thread CPU time plus deferred
+  // cold-read latency — the store-miss stalls the single-threaded pipeline
+  // used to spin through are included via the model, not a wall clock.
   double total_speculation_seconds() const { return total_speculation_seconds_; }
   // Modeled wall cost: per pipeline round, the max over workers of their busy
   // time (== the CPU sum at 1 worker). This is what the speculation phase

@@ -85,13 +85,16 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
   }
 
   if (physical_ == 1) {
-    // Inline path: identical operation order to the pre-pool pipeline.
+    // Inline path: identical operation order to the pre-pool pipeline. No
+    // executor threads exist, so the batch pointers are coordinator-private.
     jobs_ = &jobs;
     results_ = &results;
     Speculator speculator(trie_, options_);
     for (size_t j = 0; j < jobs.size(); ++j) {
       ExecuteJob(&speculator, j);
     }
+    jobs_ = nullptr;
+    results_ = nullptr;
   } else {
     std::unique_lock<std::mutex> lock(mutex_);
     jobs_ = &jobs;
@@ -100,9 +103,14 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
     ++batch_seq_;
     work_cv_.notify_all();
     done_cv_.wait(lock, [&] { return done_jobs_ == jobs.size(); });
+    // Retire the batch while still holding the mutex: an executor whose
+    // stripe was empty may wake from the batch-start notify only now, and its
+    // wait predicate reads these pointers under the lock — clearing them
+    // unlocked would race (and a stale non-null pointer would dangle into
+    // this frame's locals).
+    jobs_ = nullptr;
+    results_ = nullptr;
   }
-  jobs_ = nullptr;
-  results_ = nullptr;
 
   // Lane accounting on the coordinator: deterministic round-robin assignment
   // of jobs to modeled lanes, independent of which executor thread ran what.

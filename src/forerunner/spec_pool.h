@@ -64,7 +64,9 @@ class SpecPool {
   // min(workers, hardware concurrency) executor threads; a nonzero value
   // overrides that cap (tests use this to force real concurrency). With one
   // physical thread no threads are spawned and RunBatch executes jobs inline
-  // in submission order — bit-for-bit the original single-threaded pipeline.
+  // in submission order — the original single-threaded pipeline's exact
+  // operation order (job costs use the same modeled CPU + deferred-latency
+  // accounting as the threaded path).
   SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers,
            size_t physical_threads = 0);
   ~SpecPool();

@@ -91,6 +91,7 @@ void KvStore::CoolAll() {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     shard.keys.clear();
   }
+  hot_count_.store(0, std::memory_order_relaxed);
 }
 
 KvStoreStats KvStore::stats() const {
@@ -113,14 +114,22 @@ size_t KvStore::size() const {
 }
 
 void KvStore::Touch(const Hash& key) {
+  // Capacity is enforced on the aggregate occupancy (an approximate global
+  // counter), not per shard: wholesale eviction at `hot_set_capacity` total
+  // entries reproduces the pre-sharding single-set model exactly in the
+  // single-threaded case, so baseline cold-read numbers are unaffected by the
+  // sharding. Cheap wholesale eviction keeps the model simple; correctness
+  // does not depend on which entries stay hot, only on cold reads costing
+  // time — so a racy over/undershoot of the counter is harmless.
+  if (hot_count_.load(std::memory_order_relaxed) >=
+      std::max<size_t>(1, options_.hot_set_capacity)) {
+    CoolAll();
+  }
   HotShard& shard = ShardFor(key);
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  if (shard.keys.size() >= std::max<size_t>(1, options_.hot_set_capacity / kHotShards)) {
-    // Cheap wholesale eviction keeps the model simple; correctness does not
-    // depend on which entries stay hot, only on cold reads costing time.
-    shard.keys.clear();
+  if (shard.keys.insert(key).second) {
+    hot_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.keys.insert(key);
 }
 
 }  // namespace frn

@@ -91,8 +91,10 @@ class KvStore {
 
  private:
   // The hot set is sharded to keep speculation workers from serializing on a
-  // single lock; capacity is enforced per shard with the same wholesale
-  // eviction as before (correctness never depends on which entries stay hot).
+  // single lock; capacity is enforced on the aggregate occupancy (approximate
+  // global counter, wholesale eviction of every shard at capacity), matching
+  // the pre-sharding single-set model (correctness never depends on which
+  // entries stay hot).
   static constexpr size_t kHotShards = 16;
   struct HotShard {
     mutable std::shared_mutex mutex;
@@ -106,6 +108,8 @@ class KvStore {
   mutable std::shared_mutex data_mutex_;
   std::unordered_map<Hash, Bytes, HashHasher> data_;
   mutable std::array<HotShard, kHotShards> hot_;
+  // Approximate aggregate hot-set occupancy (drives wholesale eviction).
+  std::atomic<size_t> hot_count_{0};
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> cold_reads_{0};
   std::atomic<uint64_t> writes_{0};

@@ -61,10 +61,15 @@ TEST(ConcurrencyStressTest, ReadersSeeImmutableSnapshotDuringCommits) {
           reader_errors.fetch_add(1, std::memory_order_relaxed);
         }
         // Exercise the shared cache lookups and the store hot set directly;
-        // values are only trusted when the cache still holds the pinned root.
+        // a value is only trusted as snapshot data when the cache held the
+        // pinned root both before AND after the lookup (root() and
+        // GetAccount() are separate lock acquisitions, so the writer's Reset
+        // can land between them; the writer never returns to snapshot_root
+        // while readers run, so the double check rules that window out).
         if (shared.root() == snapshot_root) {
           auto cached = shared.GetAccount(Acct(i));
-          if (cached && cached->balance != U256(1000 + i)) {
+          if (cached && cached->balance != U256(1000 + i) &&
+              shared.root() == snapshot_root) {
             reader_errors.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -95,12 +100,15 @@ TEST(ConcurrencyStressTest, ReadersSeeImmutableSnapshotDuringCommits) {
       store.CoolAll();
     }
   }
-  shared.Reset(snapshot_root);
 
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : readers) {
     t.join();
   }
+  // Return the cache to the pinned root only after the readers stopped: while
+  // they run, the cache root moves strictly away from snapshot_root, which is
+  // what makes the readers' before/after root double-check sound.
+  shared.Reset(snapshot_root);
 
   EXPECT_EQ(reader_errors.load(), 0u);
   EXPECT_GT(reads_done.load(), 0u);

@@ -202,6 +202,46 @@ TEST(SpecPoolTest, WorkerAccountingAndWallTime) {
   }
 }
 
+TEST(SpecPoolTest, ManySmallBatchesWithEmptyStripes) {
+  // Regression for a race in batch retirement: jobs_/results_ used to be
+  // cleared after the batch mutex was released, so an executor whose static
+  // stripe was empty (fewer jobs than physical threads) could wake from the
+  // batch-start notify after the coordinator retired the batch and read the
+  // stale pointers. Many tiny batches on a wide pool maximize empty stripes
+  // and late wakeups; under TSan (tools/run_tsan.sh) this must be race-free.
+  ScenarioConfig cfg = SmallScenario(0x2222);
+  Workload workload(cfg);
+  KvStore store(KvStore::Options{.cold_read_latency = std::chrono::nanoseconds(0)});
+  Mpt trie(&store);
+  StateDb genesis(&trie, Mpt::EmptyRoot());
+  workload.InitGenesis(&genesis);
+  Hash root = genesis.Commit();
+  auto traffic = workload.GenerateTraffic();
+  ASSERT_GT(traffic.size(), 2u);
+  BlockContext header;
+  header.number = 1;
+  header.timestamp = cfg.dice.base_timestamp + 13;
+  header.gas_limit = cfg.dice.block_gas_limit;
+
+  SpecPool pool(&trie, Speculator::Options{}, 4, 4);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<SpecJob> jobs;
+    size_t n = 1 + (round % 2);
+    for (size_t i = 0; i < n; ++i) {
+      SpecJob job;
+      job.root = root;
+      job.tx = traffic[(round + i) % traffic.size()].tx;
+      job.futures.push_back(FutureContext{header, {}});
+      jobs.push_back(std::move(job));
+    }
+    std::vector<SpecJobResult> results = pool.RunBatch(std::move(jobs));
+    ASSERT_EQ(results.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(results[i].spec.futures, 1u);
+    }
+  }
+}
+
 TEST(SpecPoolTest, EmptyBatchIsANoOp) {
   KvStore store(KvStore::Options{.cold_read_latency = std::chrono::nanoseconds(0)});
   Mpt trie(&store);
