@@ -9,7 +9,8 @@
 
 using namespace frn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("=== Section 5.6: Overhead off the critical path (dataset L1) ===\n");
   ScenarioRun run = RunScenarioWithTweaks(
       ScenarioByName("L1"),
@@ -59,5 +60,29 @@ int main() {
   std::printf("\nPaper reference: pre-execute + synthesize averages 12.19x the plain "
               "execution time of the transaction (unoptimized), with 3.33x CPU and 2.50x "
               "memory overhead node-wide.\n");
+
+  JsonValue workers_json = JsonValue::Array();
+  for (const SpecWorkerStats& s : node.spec_worker_stats) {
+    JsonValue w = JsonValue::Object();
+    w.Set("jobs", s.jobs);
+    w.Set("futures", s.futures);
+    w.Set("busy_seconds", s.busy_seconds);
+    w.Set("queue_wait_seconds", s.queue_wait_seconds);
+    w.Set("snapshot_hit_rate", s.SnapshotHitRate());
+    workers_json.Append(std::move(w));
+  }
+  JsonValue payload = JsonValue::Object();
+  payload.Set("scenario", run.cfg.name);
+  payload.Set("futures_speculated", node.futures_speculated);
+  payload.Set("synthesis_failures", node.synthesis_failures);
+  payload.Set("speculation_seconds", speculation);
+  payload.Set("speculated_exec_seconds", plain);
+  payload.Set("critical_path_seconds", critical);
+  payload.Set("overhead_vs_plain", plain > 0 ? speculation / plain : 0.0);
+  payload.Set("speculation_wall_seconds", wall);
+  payload.Set("parallel_speedup", wall > 0 ? speculation / wall : 0.0);
+  payload.Set("worker_imbalance", SpecWorkerImbalance(node.spec_worker_stats));
+  payload.Set("workers", std::move(workers_json));
+  FinishObservability(args, "sec56_overhead", std::move(payload));
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/trace.h"
 
 using namespace frn;
 
@@ -46,7 +47,16 @@ bool SameRecords(const std::vector<TxExecRecord>& a, const std::vector<TxExecRec
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  // Tracing is force-enabled here even without --trace-out: this bench is the
+  // cross-worker-count determinism gate, and it must keep passing with the
+  // tracer armed (spans may not perturb outcomes).
+  if (!TraceCollector::Global().enabled()) {
+    TraceCollector::Options trace_options;
+    trace_options.sample_rate = args.trace_sample;
+    TraceCollector::Global().Enable(trace_options);
+  }
   // L1's contract mix at elevated load: parallel speculation pays off when a
   // pipeline round actually contains several pending transactions, so the
   // scaling study runs the same mix at 16 tx/s (a singleton round is bound by
@@ -74,6 +84,7 @@ int main() {
   bool identical = true;
   bool ok = true;
   const NodeRunStats& serial = runs[0].run.report.nodes[1];
+  JsonValue rows = JsonValue::Array();
   std::printf("\n%-8s %14s %14s %12s %12s %12s\n", "workers", "spec CPU (s)",
               "spec wall (s)", "speedup", "imbalance", "accelerated");
   for (const WorkerRun& wr : runs) {
@@ -104,6 +115,14 @@ int main() {
     std::printf("%-8zu %14.3f %14.3f %11.2fx %12.2f %12zu\n", wr.workers,
                 node.speculation_seconds, node.speculation_wall_seconds, speedup,
                 SpecWorkerImbalance(node.spec_worker_stats), accelerated);
+    JsonValue row = JsonValue::Object();
+    row.Set("workers", static_cast<uint64_t>(wr.workers));
+    row.Set("speculation_cpu_seconds", node.speculation_seconds);
+    row.Set("speculation_wall_seconds", node.speculation_wall_seconds);
+    row.Set("wall_speedup", speedup);
+    row.Set("imbalance", SpecWorkerImbalance(node.spec_worker_stats));
+    row.Set("accelerated", static_cast<uint64_t>(accelerated));
+    rows.Append(std::move(row));
   }
 
   const NodeRunStats& four = runs[2].run.report.nodes[1];
@@ -121,5 +140,15 @@ int main() {
               identical ? "yes" : "NO");
   ok = ok && identical;
   std::printf("%s\n", ok ? "PASS" : "FAIL");
+
+  JsonValue payload = JsonValue::Object();
+  payload.Set("scenario", cfg.name);
+  payload.Set("tx_rate", cfg.tx_rate);
+  payload.Set("worker_runs", std::move(rows));
+  payload.Set("speedup_4_workers", speedup4);
+  payload.Set("deterministic", identical);
+  payload.Set("pass", ok);
+  payload.Set("trace_events", static_cast<uint64_t>(TraceCollector::Global().event_count()));
+  FinishObservability(args, "spec_pool", std::move(payload));
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -8,7 +8,8 @@
 
 using namespace frn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("=== Table 2: Effective speedup (dataset L1) ===\n");
   ScenarioRun run = RunScenario(
       ScenarioByName("L1"),
@@ -16,12 +17,14 @@ int main() {
   std::printf("blocks=%lu txs=%lu (Merkle roots agreed across all nodes on every block)\n\n",
               (unsigned long)run.report.blocks, (unsigned long)run.report.txs_packed);
 
+  JsonValue strategies_json = JsonValue::Object();
   std::printf("%-48s %10s %12s %14s\n", "", "Speedup", "%% satisfied", "%% (weighted)");
   std::printf("%-48s %9s %12s %14s\n", "Baseline", "1.00x", "N/A", "N/A");
   for (size_t n = 1; n < run.report.nodes.size(); ++n) {
     SpeedupSummary s = Summarize(Compare(run.report, n));
     std::printf("%-48s %9.2fx %11.2f%% %13.2f%%\n", StrategyName(run.strategies[n]),
                 s.effective_speedup, s.satisfied_pct, s.satisfied_weighted_pct);
+    strategies_json.Set(StrategyName(run.strategies[n]), ToJson(s));
   }
   SpeedupSummary fr = Summarize(Compare(run.report, 1));
   std::printf("\nForerunner end-to-end speedup (incl. unheard txs): %.2fx\n",
@@ -31,5 +34,12 @@ int main() {
   std::printf("\nPaper reference: Forerunner 8.39x (99.16%% / 98.41%%), "
               "perfect 2.11x (68.81%% / 51.40%%), perfect+multi 5.13x (87.59%% / 84.64%%); "
               "end-to-end 6.06x.\n");
+
+  JsonValue payload = JsonValue::Object();
+  payload.Set("scenario", run.cfg.name);
+  payload.Set("blocks", run.report.blocks);
+  payload.Set("txs_packed", run.report.txs_packed);
+  payload.Set("strategies", std::move(strategies_json));
+  FinishObservability(args, "table2_speedup", std::move(payload));
   return 0;
 }

@@ -4,7 +4,115 @@
 #include <cstdlib>
 #include <memory>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
 namespace frn {
+
+namespace {
+
+// Accepts "--flag value" and "--flag=value"; returns true when `arg`
+// matched `flag` and fills `*value` (consuming argv[i+1] if needed).
+bool MatchFlag(const std::string& flag, int argc, char** argv, int* i, std::string* value) {
+  std::string arg = argv[*i];
+  if (arg == flag) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      std::exit(EXIT_FAILURE);
+    }
+    *value = argv[++*i];
+    return true;
+  }
+  if (arg.rfind(flag + "=", 0) == 0) {
+    *value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (MatchFlag("--json", argc, argv, &i, &args.json_path)) {
+    } else if (MatchFlag("--trace-out", argc, argv, &i, &args.trace_out)) {
+    } else if (MatchFlag("--stats-out", argc, argv, &i, &args.stats_out)) {
+    } else if (MatchFlag("--trace-sample", argc, argv, &i, &value)) {
+      args.trace_sample = std::atof(value.c_str());
+    } else {
+      args.rest.push_back(argv[i]);
+    }
+  }
+  if (!args.trace_out.empty()) {
+    TraceCollector::Options options;
+    options.sample_rate = args.trace_sample;
+    TraceCollector::Global().Enable(options);
+  }
+  return args;
+}
+
+JsonValue ToJson(const SpeedupSummary& s) {
+  JsonValue v = JsonValue::Object();
+  v.Set("effective_speedup", s.effective_speedup);
+  v.Set("end_to_end_speedup", s.end_to_end_speedup);
+  v.Set("mean_tx_speedup", s.mean_tx_speedup);
+  v.Set("satisfied_pct", s.satisfied_pct);
+  v.Set("satisfied_weighted_pct", s.satisfied_weighted_pct);
+  v.Set("heard_pct", s.heard_pct);
+  v.Set("heard_weighted_pct", s.heard_weighted_pct);
+  v.Set("heard", static_cast<uint64_t>(s.heard));
+  v.Set("total", static_cast<uint64_t>(s.total));
+  return v;
+}
+
+JsonValue ToJson(const TxComparison& c) {
+  JsonValue v = JsonValue::Object();
+  v.Set("tx_id", c.tx_id);
+  v.Set("baseline_seconds", c.baseline_seconds);
+  v.Set("strategy_seconds", c.strategy_seconds);
+  v.Set("speedup", c.speedup);
+  v.Set("heard", c.heard);
+  v.Set("accelerated", c.accelerated);
+  v.Set("perfect", c.perfect);
+  v.Set("gas_used", c.gas_used);
+  return v;
+}
+
+bool FinishObservability(const BenchArgs& args, const std::string& bench_name,
+                         JsonValue payload) {
+  bool ok = true;
+  if (!args.json_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("bench", bench_name);
+    doc.Set("results", std::move(payload));
+    if (!WriteJsonFile(args.json_path, doc)) {
+      std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", args.json_path.c_str());
+    }
+  }
+  if (!args.trace_out.empty()) {
+    if (!TraceCollector::Global().WriteChromeTrace(args.trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", args.trace_out.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s (%zu events)\n", args.trace_out.c_str(),
+                  TraceCollector::Global().event_count());
+    }
+  }
+  if (!args.stats_out.empty()) {
+    if (!WriteJsonFile(args.stats_out, MetricsRegistry::Global().Snapshot().ToJson())) {
+      std::fprintf(stderr, "failed to write %s\n", args.stats_out.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", args.stats_out.c_str());
+    }
+  }
+  return ok;
+}
 
 ScenarioRun RunScenario(ScenarioConfig cfg, const std::vector<ExecStrategy>& extra,
                         double duration_override) {

@@ -9,9 +9,42 @@
 #include <vector>
 
 #include "src/metrics/metrics.h"
+#include "src/obs/json.h"
 #include "src/workload/workload.h"
 
 namespace frn {
+
+// Tiny shared CLI for the bench binaries. Recognized flags (in both
+// "--flag value" and "--flag=value" form):
+//   --json <path>          write the bench's aggregate results as JSON
+//   --trace-out <path>     write a Chrome trace_event JSON of the run
+//   --stats-out <path>     write the metrics-registry snapshot as JSON
+//   --trace-sample <rate>  per-tx span sampling rate in [0,1] (default 1)
+// Unrecognized arguments are preserved (in order) in `rest`.
+struct BenchArgs {
+  std::string json_path;
+  std::string trace_out;
+  std::string stats_out;
+  double trace_sample = 1.0;
+  std::vector<std::string> rest;
+};
+
+// Parses the shared flags and, when a trace output is requested, arms the
+// global TraceCollector (with the requested sampling rate) before the bench
+// body runs.
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+// JSON projections of the aggregate structs, for the --json payloads.
+struct SpeedupSummary;
+struct TxComparison;
+JsonValue ToJson(const SpeedupSummary& s);
+JsonValue ToJson(const TxComparison& c);
+
+// End-of-bench emission: writes {"bench": name, "results": payload} to
+// --json, the captured trace to --trace-out, and the registry snapshot to
+// --stats-out (each only when requested). Returns false if any write failed.
+bool FinishObservability(const BenchArgs& args, const std::string& bench_name,
+                         JsonValue payload);
 
 struct ScenarioRun {
   ScenarioConfig cfg;

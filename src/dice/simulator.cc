@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
 namespace frn {
 
 namespace {
@@ -104,6 +107,17 @@ std::vector<Transaction> DiceSimulator::PackBlock(
 
 SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
                              const std::string& scenario_name) {
+  static Counter* rounds = MetricsRegistry::Global().GetCounter("dice.rounds");
+  static Counter* forks = MetricsRegistry::Global().GetCounter("dice.forks");
+  static Counter* pipeline_runs = MetricsRegistry::Global().GetCounter("dice.pipeline_runs");
+  static SecondsCounter* round_wall =
+      MetricsRegistry::Global().GetSeconds("dice.round_wall_seconds");
+  static SecondsCounter* pipeline_wall =
+      MetricsRegistry::Global().GetSeconds("dice.pipeline_wall_seconds");
+  static ExpHistogram* heard_delay =
+      MetricsRegistry::Global().GetHistogram("dice.heard_delay_seconds");
+  TraceCollector* collector = &TraceCollector::Global();
+
   SimReport report;
   report.scenario = scenario_name;
   report.txs_sent = traffic_.size();
@@ -185,9 +199,12 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
     deliver_heard_until(next_event);
     now = next_event;
     if (next_pipeline <= next_block_time) {
+      TraceSpan pipeline_span(collector, "dice", "dice.pipeline", pipeline_wall);
+      pipeline_span.AddArg(TraceArg::F64("sim_time", now));
       for (Node* node : nodes) {
         node->RunSpeculationPipeline(now);
       }
+      pipeline_runs->Add();
       last_pipeline = now;
       continue;
     }
@@ -241,6 +258,9 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
           }
         }
         ++report.fork_blocks;
+        forks->Add();
+        EmitInstant(collector, "dice", "dice.fork",
+                    {TraceArg::U64("block", block_number + 1), TraceArg::F64("sim_time", now)});
         // The losing branch stays our head while the winner's branch
         // propagates; the orphaned transactions re-enter the pool on reorg
         // and the speculation pipeline gets to re-process them.
@@ -280,6 +300,7 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
           if (observer_heard[i] <= now) {
             ++report.heard_count;
             report.heard_delays.push_back(now - observer_heard[i]);
+            heard_delay->Record(now - observer_heard[i]);
           }
           break;
         }
@@ -287,18 +308,25 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
     }
 
     // ---- Execution phase on every node ----
-    Hash first_root;
-    for (size_t n = 0; n < nodes.size(); ++n) {
-      BlockExecReport exec = nodes[n]->ExecuteBlock(block, now);
-      if (n == 0) {
-        first_root = exec.state_root;
-      } else if (!(exec.state_root == first_root)) {
-        report.roots_consistent = false;
+    {
+      TraceSpan round_span(collector, "dice", "dice.round", round_wall);
+      round_span.AddArg(TraceArg::U64("block", block_number));
+      round_span.AddArg(TraceArg::U64("txs", txs.size()));
+      round_span.AddArg(TraceArg::F64("sim_time", now));
+      Hash first_root;
+      for (size_t n = 0; n < nodes.size(); ++n) {
+        BlockExecReport exec = nodes[n]->ExecuteBlock(block, now);
+        if (n == 0) {
+          first_root = exec.state_root;
+        } else if (!(exec.state_root == first_root)) {
+          report.roots_consistent = false;
+        }
+        report.nodes[n].total_exec_seconds += exec.total_seconds;
+        for (TxExecRecord& r : exec.txs) {
+          report.nodes[n].records.push_back(r);
+        }
       }
-      report.nodes[n].total_exec_seconds += exec.total_seconds;
-      for (TxExecRecord& r : exec.txs) {
-        report.nodes[n].records.push_back(r);
-      }
+      rounds->Add();
     }
     report.chain.push_back(std::move(block));
     report.block_times.push_back(now);

@@ -1,0 +1,70 @@
+// Fine-grained interpreter-loop profiler, attached to the EVM through the
+// existing Tracer hook. Counts executed opcodes and CALL-family entries and
+// tracks the maximum call depth, flushing the totals into the metrics
+// registry when detached. This instrumentation observes every single
+// instruction, which is far too hot for release binaries — the attach site in
+// Accelerator::RunEvm is compiled only under -DFRN_TRACING=ON (see the
+// top-level CMakeLists.txt); this header itself is always valid to include.
+#ifndef SRC_EVM_OP_PROFILER_H_
+#define SRC_EVM_OP_PROFILER_H_
+
+#include <cstdint>
+
+#include "src/evm/tracer.h"
+#include "src/obs/registry.h"
+
+namespace frn {
+
+class EvmOpProfiler : public Tracer {
+ public:
+  EvmOpProfiler() = default;
+  ~EvmOpProfiler() override { Flush(); }
+
+  void OnStep(const TraceStep& step) override {
+    switch (step.phase) {
+      case TracePhase::kExec:
+        ++ops_;
+        break;
+      case TracePhase::kCallEnter:
+        ++ops_;
+        ++calls_;
+        // The callee frame runs one deeper than the frame issuing the CALL.
+        if (step.depth + 1u > max_depth_) {
+          max_depth_ = step.depth + 1u;
+        }
+        break;
+      case TracePhase::kCallExit:
+        break;  // the matching kCallEnter already counted the instruction
+    }
+  }
+
+  uint64_t ops() const { return ops_; }
+  uint64_t calls() const { return calls_; }
+  uint32_t max_depth() const { return max_depth_; }
+
+  // Adds the accumulated counts to the registry (idempotent; also run by the
+  // destructor). Counting locally and flushing once keeps the per-step cost
+  // to plain increments on profiler-private fields.
+  void Flush() {
+    if (flushed_) {
+      return;
+    }
+    flushed_ = true;
+    static Counter* ops_counter = MetricsRegistry::Global().GetCounter("evm.ops");
+    static Counter* calls_counter = MetricsRegistry::Global().GetCounter("evm.calls");
+    static Gauge* depth_gauge = MetricsRegistry::Global().GetGauge("evm.max_call_depth");
+    ops_counter->Add(ops_);
+    calls_counter->Add(calls_);
+    depth_gauge->SetMax(static_cast<double>(max_depth_));
+  }
+
+ private:
+  uint64_t ops_ = 0;
+  uint64_t calls_ = 0;
+  uint32_t max_depth_ = 0;
+  bool flushed_ = false;
+};
+
+}  // namespace frn
+
+#endif  // SRC_EVM_OP_PROFILER_H_

@@ -1,6 +1,15 @@
 #include "src/forerunner/accelerator.h"
 
+#include <iterator>
+#include <string_view>
+
 #include "src/evm/evm.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+#if defined(FRN_TRACING) && FRN_TRACING
+#include "src/evm/op_profiler.h"
+#endif
 
 namespace frn {
 
@@ -22,7 +31,19 @@ AccelOutcome Accelerator::RunEvm(StateDb* state, const BlockContext& block,
                                  const Transaction& tx) {
   AccelOutcome out;
   Evm evm(state, block);
+#if defined(FRN_TRACING) && FRN_TRACING
+  // Per-opcode profiling observes every interpreter step; only compiled in
+  // when explicitly requested (-DFRN_TRACING=ON), so default builds keep the
+  // untraced interpreter loop.
+  EvmOpProfiler profiler;
+  out.result = evm.ExecuteTransaction(tx, &profiler);
+#else
   out.result = evm.ExecuteTransaction(tx);
+#endif
+  static Counter* evm_runs = MetricsRegistry::Global().GetCounter("evm.runs");
+  static Counter* evm_gas = MetricsRegistry::Global().GetCounter("evm.gas");
+  evm_runs->Add();
+  evm_gas->Add(out.result.gas_used);
   return out;
 }
 
@@ -55,13 +76,62 @@ bool Accelerator::TryCommitRecord(StateDb* state, const BlockContext& block,
 AccelOutcome Accelerator::Execute(StateDb* state, const BlockContext& block,
                                   const Transaction& tx, const TxSpeculation* spec,
                                   ExecStrategy strategy) {
+  static Counter* checks = MetricsRegistry::Global().GetCounter("accel.checks");
+  static Counter* accelerated = MetricsRegistry::Global().GetCounter("accel.accelerated");
+  static Counter* perfect = MetricsRegistry::Global().GetCounter("accel.perfect");
+  static SecondsCounter* check_wall =
+      MetricsRegistry::Global().GetSeconds("accel.check_wall_seconds");
+  TraceCollector* collector = &TraceCollector::Global();
+  TraceSpan span(collector, "accel", "tx.check", check_wall,
+                 collector->enabled() && collector->SampleTx(tx.id));
+  const char* outcome = "plain";
+  AccelOutcome out = ExecuteClassified(state, block, tx, spec, strategy, &outcome);
+  checks->Add();
+  // Per-outcome counters resolved once into a fixed table so the per-tx cost
+  // is an array scan over short strings, not a registry map lookup.
+  static constexpr std::string_view kOutcomeNames[] = {
+      "plain",       "wrapper-miss", "record-hit", "record-miss",
+      "no-ap",       "perfect",      "fastpath",   "bail"};
+  static Counter* outcome_counters[] = {
+      MetricsRegistry::Global().GetCounter("accel.outcome.plain"),
+      MetricsRegistry::Global().GetCounter("accel.outcome.wrapper_miss"),
+      MetricsRegistry::Global().GetCounter("accel.outcome.record_hit"),
+      MetricsRegistry::Global().GetCounter("accel.outcome.record_miss"),
+      MetricsRegistry::Global().GetCounter("accel.outcome.no_ap"),
+      MetricsRegistry::Global().GetCounter("accel.outcome.perfect"),
+      MetricsRegistry::Global().GetCounter("accel.outcome.fastpath"),
+      MetricsRegistry::Global().GetCounter("accel.outcome.bail"),
+  };
+  for (size_t i = 0; i < std::size(kOutcomeNames); ++i) {
+    if (kOutcomeNames[i] == outcome) {
+      outcome_counters[i]->Add();
+      break;
+    }
+  }
+  if (out.accelerated) {
+    accelerated->Add();
+  }
+  if (out.perfect) {
+    perfect->Add();
+  }
+  span.AddArg(TraceArg::U64("tx", tx.id));
+  span.AddArg(TraceArg::Str("outcome", outcome));
+  span.AddArg(TraceArg::U64("gas", out.result.gas_used));
+  return out;
+}
+
+AccelOutcome Accelerator::ExecuteClassified(StateDb* state, const BlockContext& block,
+                                            const Transaction& tx, const TxSpeculation* spec,
+                                            ExecStrategy strategy, const char** outcome) {
   if (strategy == ExecStrategy::kBaseline || spec == nullptr) {
+    *outcome = "plain";
     return RunEvm(state, block, tx);
   }
   // Wrapper validity checks shared by all accelerated paths. Failures are
   // rare inclusion errors; the fallback reproduces them exactly.
   if (state->GetNonce(tx.sender) != tx.nonce ||
       state->GetBalance(tx.sender) < U256(tx.gas_limit) * tx.gas_price + tx.value) {
+    *outcome = "wrapper-miss";
     return RunEvm(state, block, tx);
   }
 
@@ -86,19 +156,23 @@ AccelOutcome Accelerator::Execute(StateDb* state, const BlockContext& block,
         bookkeeping(out.result.gas_used);
         out.accelerated = true;
         out.perfect = true;  // by definition: the whole observed context matched
+        *outcome = "record-hit";
         return out;
       }
       state->RevertToSnapshot(snapshot);
     }
+    *outcome = "record-miss";
     return RunEvm(state, block, tx);
   }
 
   // Forerunner: constraint checking + fast path, EVM on violation.
   if (!spec->has_ap) {
+    *outcome = "no-ap";
     return RunEvm(state, block, tx);
   }
   ApRunResult run = spec->ap.Execute(state, block);
   if (!run.satisfied) {
+    *outcome = "bail";
     return RunEvm(state, block, tx);  // rollback-free: nothing to undo
   }
   AccelOutcome out;
@@ -108,6 +182,7 @@ AccelOutcome Accelerator::Execute(StateDb* state, const BlockContext& block,
   out.instrs_executed = run.instrs_executed;
   out.instrs_skipped = run.instrs_skipped;
   bookkeeping(out.result.gas_used);
+  *outcome = run.perfect ? "perfect" : "fastpath";
   return out;
 }
 

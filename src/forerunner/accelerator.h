@@ -36,6 +36,12 @@ class Accelerator {
                               ExecStrategy strategy);
 
  private:
+  // Execute with the taken path reported in `outcome` (a static string:
+  // "plain", "wrapper-miss", "record-hit", "record-miss", "no-ap", "perfect",
+  // "fastpath" or "bail") for the tx.check span and accel.* counters.
+  static AccelOutcome ExecuteClassified(StateDb* state, const BlockContext& block,
+                                        const Transaction& tx, const TxSpeculation* spec,
+                                        ExecStrategy strategy, const char** outcome);
   static AccelOutcome RunEvm(StateDb* state, const BlockContext& block,
                              const Transaction& tx);
   static bool TryCommitRecord(StateDb* state, const BlockContext& block,

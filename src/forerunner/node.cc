@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <thread>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
 namespace frn {
 
 namespace {
@@ -42,14 +45,37 @@ void Node::OnHeard(const Transaction& tx, double sim_time) {
   }
   heard_at_.emplace(tx.id, sim_time);
   pool_.push_back(PendingTx{tx, sim_time});
+  static Counter* heard = MetricsRegistry::Global().GetCounter("mempool.heard");
+  static Gauge* pending = MetricsRegistry::Global().GetGauge("mempool.pending");
+  heard->Add();
+  pending->SetMax(static_cast<double>(pool_.size()));
+  TraceCollector* collector = &TraceCollector::Global();
+  if (collector->enabled() && collector->SampleTx(tx.id)) {
+    EmitInstant(collector, "mempool", "tx.heard",
+                {TraceArg::U64("tx", tx.id), TraceArg::F64("sim_time", sim_time)});
+  }
 }
 
 void Node::RunSpeculationPipeline(double sim_time) {
   if (options_.strategy == ExecStrategy::kBaseline) {
     return;
   }
+  static Counter* rounds = MetricsRegistry::Global().GetCounter("predict.rounds");
+  static Counter* predicted_txs = MetricsRegistry::Global().GetCounter("predict.txs");
+  static Counter* predicted_futures = MetricsRegistry::Global().GetCounter("predict.futures");
+  static SecondsCounter* predict_wall =
+      MetricsRegistry::Global().GetSeconds("predict.wall_seconds");
+  TraceCollector* collector = &TraceCollector::Global();
+  TraceSpan predict_span(collector, "predict", "round.predict", predict_wall);
   std::vector<TxPrediction> predictions = predictor_.PredictNextBlock(
       pool_, head_, chain_nonces_, head_.gas_limit, &rng_);
+  predict_span.AddArg(TraceArg::U64("txs", predictions.size()));
+  predict_span.Finish();
+  rounds->Add();
+  predicted_txs->Add(predictions.size());
+  for (const TxPrediction& prediction : predictions) {
+    predicted_futures->Add(prediction.futures.size());
+  }
   size_t futures_cap =
       (options_.strategy == ExecStrategy::kPerfectMatch) ? 1 : SIZE_MAX;
   // Fan the fresh predictions out across the worker pool. Each job carries a
@@ -77,8 +103,14 @@ void Node::RunSpeculationPipeline(double sim_time) {
   if (jobs.empty()) {
     return;
   }
+  static SecondsCounter* round_wall =
+      MetricsRegistry::Global().GetSeconds("spec.round_wall_seconds");
+  TraceSpan speculate_span(collector, "spec", "round.speculate", round_wall);
+  speculate_span.AddArg(TraceArg::U64("jobs", jobs.size()));
   std::vector<SpecJobResult> results = spec_pool_.RunBatch(std::move(jobs));
   total_speculation_wall_seconds_ += spec_pool_.last_batch_wall_seconds();
+  speculate_span.AddArg(
+      TraceArg::F64("modeled_wall_s", spec_pool_.last_batch_wall_seconds()));
   // Merge on the coordinator in submission (= prediction) order: the stat
   // streams and AP contents come out identical for any worker count.
   for (SpecJobResult& result : results) {
@@ -126,8 +158,23 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
   parent_chain_nonces_ = chain_nonces_;
   last_block_txs_ = block.txs;
 
+  static Counter* blocks = MetricsRegistry::Global().GetCounter("exec.blocks");
+  static Counter* txs_counter = MetricsRegistry::Global().GetCounter("exec.txs");
+  static Counter* txs_speculated = MetricsRegistry::Global().GetCounter("exec.txs_speculated");
+  static Counter* exec_gas = MetricsRegistry::Global().GetCounter("exec.gas");
+  static SecondsCounter* cp_seconds = MetricsRegistry::Global().GetSeconds("exec.cp_seconds");
+  static SecondsCounter* tx_wall = MetricsRegistry::Global().GetSeconds("exec.tx_wall_seconds");
+  static SecondsCounter* block_wall =
+      MetricsRegistry::Global().GetSeconds("exec.block_wall_seconds");
+  static SecondsCounter* commit_wall =
+      MetricsRegistry::Global().GetSeconds("exec.commit_wall_seconds");
+  static ExpHistogram* tx_seconds_hist =
+      MetricsRegistry::Global().GetHistogram("exec.tx_seconds");
+  TraceCollector* collector = &TraceCollector::Global();
+
   BlockExecReport report;
   report.txs.reserve(block.txs.size());
+  TraceSpan block_span(collector, "block", "block.exec", block_wall);
   Stopwatch block_watch;
   for (const Transaction& tx : block.txs) {
     TxExecRecord record;
@@ -143,6 +190,10 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
     }
     record.speculated = spec != nullptr;
 
+    // The span is constructed before — and its args attached after — the
+    // measured region, so trace emission cost stays out of record.seconds.
+    TraceSpan tx_span(collector, "exec", "tx.exec", tx_wall,
+                      collector->enabled() && collector->SampleTx(tx.id));
     Stopwatch tx_watch;
     AccelOutcome outcome =
         Accelerator::Execute(state_.get(), block.header, tx, spec, options_.strategy);
@@ -153,6 +204,20 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
     record.status = outcome.result.status;
     record.instrs_executed = outcome.instrs_executed;
     record.instrs_skipped = outcome.instrs_skipped;
+    tx_span.AddArg(TraceArg::U64("tx", tx.id));
+    tx_span.AddArg(TraceArg::U64("speculated", record.speculated ? 1 : 0));
+    tx_span.AddArg(TraceArg::U64("accelerated", record.accelerated ? 1 : 0));
+    tx_span.AddArg(TraceArg::U64("perfect", record.perfect ? 1 : 0));
+    tx_span.AddArg(TraceArg::U64("gas", record.gas_used));
+    tx_span.AddArg(TraceArg::F64("cp_s", record.seconds));
+    tx_span.Finish();
+    txs_counter->Add();
+    if (record.speculated) {
+      txs_speculated->Add();
+    }
+    exec_gas->Add(record.gas_used);
+    cp_seconds->Add(record.seconds);
+    tx_seconds_hist->Record(record.seconds);
     report.txs.push_back(record);
 
     if (record.status != ExecStatus::kBadNonce &&
@@ -160,8 +225,16 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
       chain_nonces_[tx.sender] = tx.nonce + 1;
     }
   }
-  report.state_root = state_->Commit();
+  {
+    TraceSpan commit_span(collector, "block", "block.commit", commit_wall);
+    report.state_root = state_->Commit();
+  }
   report.total_seconds = block_watch.ElapsedSeconds();
+  blocks->Add();
+  block_span.AddArg(TraceArg::U64("number", block.header.number));
+  block_span.AddArg(TraceArg::U64("txs", block.txs.size()));
+  block_span.AddArg(TraceArg::F64("cp_s", report.total_seconds));
+  block_span.Finish();
 
   // Chain bookkeeping (off the measured path).
   head_ = block.header;
@@ -198,6 +271,10 @@ void Node::RollbackHead() {
   if (!has_parent_) {
     return;
   }
+  static Counter* rollbacks = MetricsRegistry::Global().GetCounter("chain.rollbacks");
+  rollbacks->Add();
+  EmitInstant(&TraceCollector::Global(), "block", "chain.rollback",
+              {TraceArg::U64("to_block", parent_header_.number)});
   head_root_ = parent_root_;
   head_ = parent_header_;
   chain_nonces_ = parent_chain_nonces_;
@@ -212,6 +289,50 @@ void Node::RollbackHead() {
     }
   }
   has_parent_ = false;  // only single-depth reorgs are supported
+}
+
+JsonValue Node::StatsJson() const {
+  JsonValue node = JsonValue::Object();
+  node.Set("strategy", StrategyName(options_.strategy));
+  node.Set("spec_workers", static_cast<uint64_t>(spec_pool_.workers()));
+  node.Set("pool_size", pool_size());
+  node.Set("head_block", head_.number);
+  node.Set("speculation_seconds", total_speculation_seconds_);
+  node.Set("speculation_wall_seconds", total_speculation_wall_seconds_);
+  node.Set("speculated_exec_seconds", total_speculated_exec_seconds_);
+  node.Set("futures_speculated", futures_speculated_);
+  node.Set("synthesis_failures", synthesis_failures_);
+
+  KvStoreStats store = store_.stats();
+  JsonValue store_json = JsonValue::Object();
+  store_json.Set("reads", store.reads);
+  store_json.Set("cold_reads", store.cold_reads);
+  store_json.Set("writes", store.writes);
+  store_json.Set("stall_seconds", store.stall_seconds);
+  node.Set("store", std::move(store_json));
+
+  JsonValue workers = JsonValue::Array();
+  for (const SpecWorkerStats& w : spec_pool_.worker_stats()) {
+    JsonValue wj = JsonValue::Object();
+    wj.Set("jobs", w.jobs);
+    wj.Set("futures", w.futures);
+    wj.Set("busy_seconds", w.busy_seconds);
+    wj.Set("queue_wait_seconds", w.queue_wait_seconds);
+    wj.Set("store_reads", w.store_reads);
+    wj.Set("store_cold_reads", w.store_cold_reads);
+    wj.Set("snapshot_hit_rate", w.SnapshotHitRate());
+    workers.Append(std::move(wj));
+  }
+  node.Set("spec_worker_stats", std::move(workers));
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("node", std::move(node));
+  doc.Set("metrics", MetricsRegistry::Global().Snapshot().ToJson());
+  return doc;
+}
+
+bool Node::WriteStatsJson(const std::string& path) const {
+  return WriteJsonFile(path, StatsJson());
 }
 
 }  // namespace frn

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "src/dice/block.h"
@@ -16,6 +17,7 @@
 #include "src/forerunner/predictor.h"
 #include "src/forerunner/prefetcher.h"
 #include "src/forerunner/spec_pool.h"
+#include "src/obs/json.h"
 
 namespace frn {
 
@@ -122,6 +124,12 @@ class Node {
   const std::vector<SpecWorkerStats>& spec_worker_stats() const {
     return spec_pool_.worker_stats();
   }
+
+  // Machine-readable aggregate view: this node's accounting (speculation
+  // cost, per-worker attribution, store counters) plus a snapshot of the
+  // process-wide metrics registry — the --stats-out payload.
+  JsonValue StatsJson() const;
+  bool WriteStatsJson(const std::string& path) const;
 
  private:
   NodeOptions options_;

@@ -1,21 +1,14 @@
 #include "src/forerunner/spec_pool.h"
 
-#include <ctime>
-
 #include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace frn {
 
 namespace {
-
-// CPU time consumed by the calling thread. Unlike a wall clock this is not
-// inflated when executor threads timeshare the machine, which is what makes
-// the max-over-lanes wall model hold on any host.
-double ThreadCpuSeconds() {
-  timespec ts;
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
-}
 
 size_t ResolvePhysical(size_t workers, size_t physical_threads) {
   if (physical_threads != 0) {
@@ -57,6 +50,18 @@ SpecPool::~SpecPool() {
 void SpecPool::ExecuteJob(Speculator* speculator, size_t job_index) {
   SpecJob& job = (*jobs_)[job_index];
   SpecJobResult& result = (*results_)[job_index];
+  static SecondsCounter* job_wall = MetricsRegistry::Global().GetSeconds("spec.job_wall_seconds");
+  static Counter* jobs_counter = MetricsRegistry::Global().GetCounter("spec.jobs");
+  static Counter* futures_counter = MetricsRegistry::Global().GetCounter("spec.futures");
+  static SecondsCounter* modeled_busy =
+      MetricsRegistry::Global().GetSeconds("spec.modeled_busy_seconds");
+  static ExpHistogram* job_hist = MetricsRegistry::Global().GetHistogram("spec.job_seconds");
+  TraceCollector* collector = &TraceCollector::Global();
+  // Span + mirror sit outside the thread-CPU measurement, so tracing overhead
+  // never leaks into the modeled job cost (exec_seconds) that drives lane
+  // accounting and the determinism gate.
+  TraceSpan span(collector, "spec", "tx.speculate", job_wall,
+                 collector->enabled() && collector->SampleTx(job.tx.id));
   double cpu_start = ThreadCpuSeconds();
   {
     KvStore::StatsScope scope(&result.io);
@@ -75,6 +80,15 @@ void SpecPool::ExecuteJob(Speculator* speculator, size_t job_index) {
   }
   result.exec_seconds =
       (ThreadCpuSeconds() - cpu_start) + result.io.deferred_latency_seconds;
+  jobs_counter->Add();
+  futures_counter->Add(result.outcomes.size());
+  modeled_busy->Add(result.exec_seconds);
+  job_hist->Record(result.exec_seconds);
+  span.AddArg(TraceArg::U64("tx", job.tx.id));
+  span.AddArg(TraceArg::U64("lane", job_index % workers_));
+  span.AddArg(TraceArg::U64("futures", result.outcomes.size()));
+  span.AddArg(TraceArg::F64("modeled_exec_s", result.exec_seconds));
+  span.AddArg(TraceArg::U64("cold_reads", result.io.cold_reads));
 }
 
 std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
@@ -131,6 +145,19 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
     stats.store_cold_reads += result.io.cold_reads;
   }
   last_batch_wall_seconds_ = *std::max_element(lane_busy.begin(), lane_busy.end());
+  static SecondsCounter* batch_wall =
+      MetricsRegistry::Global().GetSeconds("spec.batch_wall_seconds");
+  static SecondsCounter* queue_wait =
+      MetricsRegistry::Global().GetSeconds("spec.queue_wait_seconds");
+  static Gauge* lane_occupancy = MetricsRegistry::Global().GetGauge("spec.max_lane_occupancy");
+  batch_wall->Add(last_batch_wall_seconds_);
+  double wait_sum = 0;
+  for (const SpecJobResult& result : results) {
+    wait_sum += result.queue_seconds;
+  }
+  queue_wait->Add(wait_sum);
+  lane_occupancy->SetMax(
+      static_cast<double>((results.size() + workers_ - 1) / workers_));
   return results;
 }
 

@@ -1,28 +1,17 @@
 // Small statistics toolkit used by the evaluation harness: histograms,
-// reverse CDFs, weighted percentages and a wall-clock stopwatch.
+// reverse CDFs and weighted percentages. Timing lives in the shared clock
+// utility (src/common/clock.h), re-exported here for existing includers.
 #ifndef SRC_METRICS_METRICS_H_
 #define SRC_METRICS_METRICS_H_
 
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/common/clock.h"
+
 namespace frn {
-
-// High-resolution wall-clock stopwatch.
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
 
 // Accumulates samples; provides mean / percentile / weighted aggregation.
 class Samples {

@@ -1,0 +1,103 @@
+// Minimal JSON document model for the observability layer: a dynamic value
+// (null/bool/number/string/array/object), a deterministic serializer, and a
+// small recursive-descent parser. The writer produces the machine-readable
+// exports (BENCH_*.json, metrics snapshots, Chrome trace_event files); the
+// parser exists so the trace-format validation test can load an emitted trace
+// back and assert its structure without external dependencies.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace frn {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  JsonValue(int v) : type_(Type::kNumber), number_(v) {}
+  JsonValue(int64_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  JsonValue(uint64_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // ---- Object access ----
+  JsonValue& Set(const std::string& key, JsonValue value) {
+    type_ = Type::kObject;
+    object_[key] = std::move(value);
+    return *this;
+  }
+  // Null when absent (a real null member is indistinguishable, which is fine
+  // for the telemetry shapes this handles).
+  const JsonValue* Find(const std::string& key) const;
+  const std::map<std::string, JsonValue>& object_items() const { return object_; }
+
+  // ---- Array access ----
+  void Append(JsonValue value) {
+    type_ = Type::kArray;
+    array_.push_back(std::move(value));
+  }
+  size_t size() const { return array_.size(); }
+  const JsonValue& at(size_t i) const { return array_[i]; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+
+  // ---- Scalar access (with defaults on type mismatch) ----
+  bool AsBool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  double AsDouble(double fallback = 0) const { return is_number() ? number_ : fallback; }
+  uint64_t AsU64(uint64_t fallback = 0) const {
+    return is_number() ? static_cast<uint64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // Serializes the value. indent < 0 => compact single line; otherwise pretty
+  // printed with the given indent width. Object keys serialize sorted (map
+  // order), so equal documents produce byte-identical output.
+  std::string Dump(int indent = -1) const;
+
+  // Parses `text` into `*out`. Returns false (and fills `error` when given)
+  // on malformed input or trailing garbage.
+  static bool Parse(const std::string& text, JsonValue* out, std::string* error = nullptr);
+
+ private:
+  bool is_bool() const { return type_ == Type::kBool; }
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Whole-file helpers; both return false on I/O or parse failure.
+bool WriteJsonFile(const std::string& path, const JsonValue& value, int indent = 1);
+bool ReadJsonFile(const std::string& path, JsonValue* out, std::string* error = nullptr);
+
+}  // namespace frn
+
+#endif  // SRC_OBS_JSON_H_

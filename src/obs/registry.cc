@@ -1,0 +1,287 @@
+#include "src/obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frn {
+
+size_t ObsShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+// ---- HistogramSnapshot ----
+
+double HistogramSnapshot::BucketUpperBound(size_t i) const {
+  if (i == 0) {
+    return options.lo;
+  }
+  if (i > options.buckets) {
+    return max;  // overflow bucket: best bound we have is the observed max
+  }
+  return options.lo * std::pow(options.growth, static_cast<double>(i));
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  p = std::min(100.0, std::max(0.0, p));
+  double target = p / 100.0 * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    double lower = i == 0 ? 0 : options.lo * std::pow(options.growth, static_cast<double>(i - 1));
+    double upper = BucketUpperBound(i);
+    uint64_t next = seen + counts[i];
+    if (target <= static_cast<double>(next)) {
+      // Linear interpolation within the bucket, clamped to observed extremes.
+      double frac = counts[i] == 0
+                        ? 0
+                        : (target - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+      double v = lower + frac * (upper - lower);
+      return std::min(std::max(v, min), max);
+    }
+    seen = next;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  if (!(options == other.options) || counts.size() != other.counts.size()) {
+    return;  // incompatible layouts never merge; caller bug, keep ours
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+JsonValue HistogramSnapshot::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("count", count);
+  v.Set("sum", sum);
+  v.Set("min", min);
+  v.Set("max", max);
+  v.Set("mean", Mean());
+  v.Set("p50", Percentile(50));
+  v.Set("p95", Percentile(95));
+  v.Set("p99", Percentile(99));
+  JsonValue buckets = JsonValue::Array();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    JsonValue b = JsonValue::Object();
+    b.Set("le", i + 1 == counts.size() ? JsonValue("inf")
+                                       : JsonValue(BucketUpperBound(i)));
+    b.Set("count", counts[i]);
+    buckets.Append(std::move(b));
+  }
+  v.Set("buckets", std::move(buckets));
+  return v;
+}
+
+// ---- ExpHistogram ----
+
+ExpHistogram::ExpHistogram(ExpHistogramOptions options)
+    : options_(options), counts_(options.buckets + 2) {
+  upper_bounds_.reserve(options_.buckets + 1);
+  double bound = options_.lo;
+  for (size_t i = 0; i <= options_.buckets; ++i) {
+    upper_bounds_.push_back(bound);
+    bound *= options_.growth;
+  }
+}
+
+size_t ExpHistogram::BucketFor(double v) const {
+  // upper_bounds_[i] is the exclusive upper edge of bucket i; the last slot
+  // is the overflow bucket.
+  auto it = std::upper_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  return static_cast<size_t>(it - upper_bounds_.begin());
+}
+
+void ExpHistogram::Record(double v) {
+  if (!(v >= 0)) {
+    v = 0;  // NaN/negative clamp keeps the layout's [0, lo) bucket honest
+  }
+  counts_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  if (!has_value_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  double m = min_.load(std::memory_order_relaxed);
+  while (v < m && !min_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+  m = max_.load(std::memory_order_relaxed);
+  while (v > m && !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot ExpHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.options = options_;
+  snap.counts.resize(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void ExpHistogram::Reset() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  has_value_.store(false, std::memory_order_relaxed);
+}
+
+// ---- MetricsSnapshot ----
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) {
+    counters[name] += v;
+  }
+  for (const auto& [name, v] : other.seconds) {
+    seconds[name] += v;
+  }
+  for (const auto& [name, v] : other.gauges) {
+    auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges[name] = v;
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
+  for (const auto& [name, v] : other.histograms) {
+    histograms[name].Merge(v);
+  }
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  JsonValue c = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    c.Set(name, value);
+  }
+  JsonValue s = JsonValue::Object();
+  for (const auto& [name, value] : seconds) {
+    s.Set(name, value);
+  }
+  JsonValue g = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    g.Set(name, value);
+  }
+  JsonValue h = JsonValue::Object();
+  for (const auto& [name, snap] : histograms) {
+    h.Set(name, snap.ToJson());
+  }
+  v.Set("counters", std::move(c));
+  v.Set("seconds", std::move(s));
+  v.Set("gauges", std::move(g));
+  v.Set("histograms", std::move(h));
+  return v;
+}
+
+// ---- MetricsRegistry ----
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: outlive all threads
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+SecondsCounter* MetricsRegistry::GetSeconds(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = seconds_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<SecondsCounter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+ExpHistogram* MetricsRegistry::GetHistogram(const std::string& name, ExpHistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<ExpHistogram>(options);
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, s] : seconds_) {
+    snap.seconds[name] = s->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, s] : seconds_) {
+    s->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+}  // namespace frn

@@ -1,0 +1,202 @@
+// Process-wide metrics registry: named counters, gauges, and exponential
+// histograms with a lock-free fast path (sharded atomics) and snapshot/merge
+// support so per-worker activity can be attributed and aggregated. The
+// registry is always on — instruments are cheap enough (one relaxed atomic
+// RMW on a cache-line-private shard) to stay enabled in every build — while
+// the span tracer in trace.h layers the optional, sampled lifecycle view on
+// top of the same numbers.
+#ifndef SRC_OBS_REGISTRY_H_
+#define SRC_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace frn {
+
+// Stable small index for the calling thread, used to pick a counter shard.
+// Indices are handed out once per thread for the process lifetime; shard
+// count is a power of two so the modulo is a mask.
+size_t ObsShardIndex();
+
+inline constexpr size_t kObsShards = 8;
+
+// Monotonically increasing integer counter. Add() is a relaxed fetch_add on
+// a per-thread-striped, cache-line-aligned shard, so concurrent writers do
+// not bounce a shared line.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[ObsShardIndex() & (kObsShards - 1)].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kObsShards];
+};
+
+// Accumulating floating-point counter (total seconds spent in a phase, total
+// gas, ...). Same sharding as Counter; the add is a CAS loop because there is
+// no atomic fetch_add for double pre-C++20-on-all-targets.
+class SecondsCounter {
+ public:
+  void Add(double delta) {
+    std::atomic<double>& cell = shards_[ObsShardIndex() & (kObsShards - 1)].v;
+    double cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const {
+    double total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<double> v{0};
+  };
+  Shard shards_[kObsShards];
+};
+
+// Last-write-wins scalar with a max variant for high-water marks (queue
+// depth, CALL depth). Merging snapshots takes the max, matching the
+// high-water interpretation.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void SetMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Exponential bucket layout: bucket 0 holds [0, lo), bucket i (1-based over
+// the configured buckets) holds [lo*growth^(i-1), lo*growth^i), and one
+// overflow bucket catches the rest. Defaults cover 1µs..~1h of latency.
+struct ExpHistogramOptions {
+  double lo = 1e-6;
+  double growth = 2.0;
+  size_t buckets = 32;
+
+  bool operator==(const ExpHistogramOptions& o) const {
+    return lo == o.lo && growth == o.growth && buckets == o.buckets;
+  }
+};
+
+struct HistogramSnapshot {
+  ExpHistogramOptions options;
+  std::vector<uint64_t> counts;  // size = options.buckets + 2 (underflow-of-lo + overflow)
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+  // Interpolated percentile (p in [0,100]) from bucket midpoints/bounds.
+  double Percentile(double p) const;
+  // Upper bound of bucket i (inclusive end of its value range).
+  double BucketUpperBound(size_t i) const;
+  // Adds `other` in; bucket configurations must match.
+  void Merge(const HistogramSnapshot& other);
+  JsonValue ToJson() const;
+};
+
+class ExpHistogram {
+ public:
+  explicit ExpHistogram(ExpHistogramOptions options = {});
+
+  void Record(double v);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+  const ExpHistogramOptions& options() const { return options_; }
+
+ private:
+  size_t BucketFor(double v) const;
+
+  ExpHistogramOptions options_;
+  std::vector<double> upper_bounds_;  // precomputed lo*growth^i
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+  std::atomic<bool> has_value_{false};
+};
+
+// Point-in-time copy of every instrument in a registry. Snapshots from
+// different registries (e.g. per-worker locals) merge additively; gauges
+// merge by max.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> seconds;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+  JsonValue ToJson() const;
+};
+
+// Named-instrument registry. Get* registers on first use and returns a
+// pointer that stays valid for the registry's lifetime, so hot call sites
+// resolve the name once (function-local static) and then touch only the
+// instrument's atomics.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  SecondsCounter* GetSeconds(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  ExpHistogram* GetHistogram(const std::string& name, ExpHistogramOptions options = {});
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every registered instrument (names stay registered). Tests and
+  // scenario runners call this between runs; not safe concurrently with
+  // writers that expect exact totals.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<SecondsCounter>> seconds_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ExpHistogram>> histograms_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_OBS_REGISTRY_H_

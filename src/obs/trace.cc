@@ -1,0 +1,212 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+namespace frn {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates sequential tx ids before the sampling
+// threshold comparison so sampling stays uniform over any id pattern.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+JsonValue ArgsToJson(const std::vector<TraceArg>& args, uint64_t id) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", id);
+  for (const TraceArg& a : args) {
+    switch (a.kind) {
+      case TraceArg::Kind::kU64:
+        obj.Set(a.key, a.u);
+        break;
+      case TraceArg::Kind::kF64:
+        obj.Set(a.key, a.f);
+        break;
+      case TraceArg::Kind::kStr:
+        obj.Set(a.key, a.s);
+        break;
+    }
+  }
+  return obj;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // leaked: outlive all threads
+  return *collector;
+}
+
+void TraceCollector::Enable(Options options) {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  sample_rate_ = std::min(1.0, std::max(0.0, options.sample_rate));
+  max_events_per_thread_ = options.max_events_per_thread;
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  next_id_.store(1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceCollector::Disable() { enabled_.store(false, std::memory_order_release); }
+
+bool TraceCollector::SampleTx(uint64_t tx_id) const {
+  if (sample_rate_ >= 1.0) {
+    return true;
+  }
+  if (sample_rate_ <= 0.0) {
+    return false;
+  }
+  // Top 53 bits -> uniform double in [0,1).
+  double u = static_cast<double>(MixId(tx_id) >> 11) * 0x1.0p-53;
+  return u < sample_rate_;
+}
+
+double TraceCollector::NowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint64_t TraceCollector::FreshGeneration() {
+  // Globally unique across collectors and Clear() epochs, so a cached buffer
+  // pointer can never validate against a different collector or a cleared
+  // buffer list that happens to live at the same address.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::BufferForThisThread() {
+  struct Cache {
+    uint64_t generation = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Cache cache;
+  uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (cache.generation == generation) {
+    return cache.buffer;
+  }
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = buffers_.size() + 1;  // tids assigned in registration order
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  cache = Cache{generation_.load(std::memory_order_relaxed), raw};
+  return raw;
+}
+
+void TraceCollector::Emit(TraceEventRec event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= max_events_per_thread_) {
+    ++buffer->dropped;
+    return;
+  }
+  event.tid = buffer->tid;
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  buffers_.clear();
+  generation_.store(FreshGeneration(), std::memory_order_release);
+  next_id_.store(1, std::memory_order_relaxed);
+}
+
+size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+size_t TraceCollector::dropped_events() const {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+JsonValue TraceCollector::ToChromeJson() const {
+  std::vector<TraceEventRec> events;
+  size_t thread_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    thread_count = buffers_.size();
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEventRec& a, const TraceEventRec& b) { return a.ts_us < b.ts_us; });
+
+  JsonValue trace_events = JsonValue::Array();
+  for (size_t tid = 1; tid <= thread_count; ++tid) {
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", tid);
+    JsonValue args = JsonValue::Object();
+    args.Set("name", tid == 1 ? std::string("coordinator")
+                              : "worker-" + std::to_string(tid - 1));
+    meta.Set("args", std::move(args));
+    trace_events.Append(std::move(meta));
+  }
+  for (const TraceEventRec& e : events) {
+    JsonValue v = JsonValue::Object();
+    v.Set("name", e.name);
+    v.Set("cat", e.cat);
+    v.Set("ph", std::string(1, e.ph));
+    v.Set("ts", e.ts_us);
+    if (e.ph == 'X') {
+      v.Set("dur", e.dur_us);
+    }
+    if (e.ph == 'i') {
+      v.Set("s", "t");  // thread-scoped instant
+    }
+    v.Set("pid", 1);
+    v.Set("tid", e.tid);
+    v.Set("args", ArgsToJson(e.args, e.id));
+    trace_events.Append(std::move(v));
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+bool TraceCollector::WriteChromeTrace(const std::string& path) const {
+  return WriteJsonFile(path, ToChromeJson(), /*indent=*/-1);
+}
+
+void EmitInstant(TraceCollector* collector, const char* cat, const char* name,
+                 std::vector<TraceArg> args) {
+  if (collector == nullptr || !collector->enabled()) {
+    return;
+  }
+  TraceEventRec e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.id = collector->NextId();
+  e.ts_us = collector->NowUs();
+  e.args = std::move(args);
+  collector->Emit(std::move(e));
+}
+
+}  // namespace frn

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "src/crypto/keccak.h"
+#include "src/obs/registry.h"
 #include "src/rlp/rlp.h"
 
 namespace frn {
@@ -268,10 +269,25 @@ void StateDb::SetStorage(const Address& addr, const U256& key, const U256& value
   storage_[addr].current[key] = value;
 }
 
-int StateDb::Snapshot() { return static_cast<int>(journal_.size()); }
+int StateDb::Snapshot() {
+  // StateDb instances are per-block; the global registry keeps the run-wide
+  // totals that per-instance StateDbStats cannot.
+  static Counter* snapshots = MetricsRegistry::Global().GetCounter("state.snapshots");
+  ++stats_.snapshots;
+  snapshots->Add();
+  return static_cast<int>(journal_.size());
+}
 
 void StateDb::RevertToSnapshot(int id) {
   assert(id >= 0 && static_cast<size_t>(id) <= journal_.size());
+  static Counter* reverts = MetricsRegistry::Global().GetCounter("state.reverts");
+  static Counter* entries_reverted =
+      MetricsRegistry::Global().GetCounter("state.entries_reverted");
+  ++stats_.reverts;
+  reverts->Add();
+  uint64_t undone = journal_.size() - static_cast<size_t>(id);
+  stats_.entries_reverted += undone;
+  entries_reverted->Add(undone);
   while (journal_.size() > static_cast<size_t>(id)) {
     const JournalEntry& e = journal_.back();
     switch (e.kind) {

@@ -69,6 +69,9 @@ struct StateDbStats {
   uint64_t account_trie_reads = 0;
   uint64_t storage_trie_reads = 0;
   uint64_t shared_cache_hits = 0;
+  uint64_t snapshots = 0;         // call-frame snapshots taken
+  uint64_t reverts = 0;           // RevertToSnapshot calls
+  uint64_t entries_reverted = 0;  // journal entries undone by reverts
 };
 
 class StateDb {

@@ -55,6 +55,9 @@ std::optional<Bytes> KvStore::Get(const Hash& key) {
           std::chrono::duration<double>(options_.cold_read_latency).count();
     } else {
       SpinFor(options_.cold_read_latency);
+      stall_nanos_.fetch_add(
+          static_cast<uint64_t>(options_.cold_read_latency.count()),
+          std::memory_order_relaxed);
     }
     Touch(key);
   }
@@ -99,6 +102,7 @@ KvStoreStats KvStore::stats() const {
   s.reads = reads_.load(std::memory_order_relaxed);
   s.cold_reads = cold_reads_.load(std::memory_order_relaxed);
   s.writes = writes_.load(std::memory_order_relaxed);
+  s.stall_seconds = 1e-9 * static_cast<double>(stall_nanos_.load(std::memory_order_relaxed));
   return s;
 }
 
@@ -106,6 +110,7 @@ void KvStore::ResetStats() {
   reads_.store(0, std::memory_order_relaxed);
   cold_reads_.store(0, std::memory_order_relaxed);
   writes_.store(0, std::memory_order_relaxed);
+  stall_nanos_.store(0, std::memory_order_relaxed);
 }
 
 size_t KvStore::size() const {

@@ -41,6 +41,9 @@ struct KvStoreStats {
   // miss cost here so their modeled busy time includes it exactly once,
   // independent of how the OS schedules the worker threads.
   double deferred_latency_seconds = 0;
+  // Simulated-disk time physically spun (critical-path cold reads, i.e. reads
+  // outside any StatsScope). deferred + stall together cover every cold read.
+  double stall_seconds = 0;
 };
 
 // In-memory content-addressed store. A bounded "hot set" models the OS page
@@ -113,6 +116,7 @@ class KvStore {
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> cold_reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> stall_nanos_{0};
 };
 
 }  // namespace frn

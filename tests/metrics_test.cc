@@ -32,6 +32,78 @@ TEST(SamplesTest, Percentiles) {
   EXPECT_DOUBLE_EQ(s.Max(), 100.0);
 }
 
+TEST(SamplesTest, SingleSamplePercentile) {
+  Samples s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 7.0);
+}
+
+TEST(SamplesTest, WeightedMeanDivergesFromUnweighted) {
+  // A heavy slow sample dominates the weighted mean but not the unweighted
+  // one — the distinction Table 2's "% (weighted)" column depends on.
+  Samples s;
+  s.Add(1.0, 1.0);
+  s.Add(10.0, 99.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.5);
+  EXPECT_DOUBLE_EQ(s.WeightedMean(), (1.0 + 990.0) / 100.0);
+  EXPECT_GT(s.WeightedMean(), s.Mean());
+}
+
+TEST(SamplesTest, ZeroTotalWeightIsZero) {
+  Samples s;
+  s.Add(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.WeightedMean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+}
+
+TEST(HistogramTest, ExactBoundaryLandsInUpperBucket) {
+  Histogram h(1.0, 4);
+  h.Add(0.999999);
+  h.Add(1.0);  // half-open buckets: the boundary belongs to the next bucket
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+}
+
+TEST(HistogramTest, EmptyFractionIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.0);
+}
+
+TEST(SpecWorkerStatsTest, ImbalanceEdgeCases) {
+  EXPECT_DOUBLE_EQ(SpecWorkerImbalance({}), 1.0);  // no workers: balanced
+  std::vector<SpecWorkerStats> idle(3);
+  EXPECT_DOUBLE_EQ(SpecWorkerImbalance(idle), 1.0);  // no jobs executed
+  std::vector<SpecWorkerStats> two(2);
+  two[0].jobs = 1;
+  two[0].busy_seconds = 3.0;
+  two[1].jobs = 1;
+  two[1].busy_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(SpecWorkerImbalance(two), 1.5);
+  // Idle workers don't dilute the mean: only executors count.
+  std::vector<SpecWorkerStats> padded = two;
+  padded.emplace_back();
+  EXPECT_DOUBLE_EQ(SpecWorkerImbalance(padded), 1.5);
+}
+
+TEST(SpecWorkerStatsTest, SumAndHitRate) {
+  std::vector<SpecWorkerStats> w(2);
+  w[0].jobs = 2;
+  w[0].store_reads = 10;
+  w[0].store_cold_reads = 4;
+  w[1].jobs = 3;
+  w[1].store_reads = 10;
+  w[1].store_cold_reads = 0;
+  SpecWorkerStats sum = SumSpecWorkerStats(w);
+  EXPECT_EQ(sum.jobs, 5u);
+  EXPECT_DOUBLE_EQ(sum.SnapshotHitRate(), 0.8);
+  EXPECT_DOUBLE_EQ(SpecWorkerStats{}.SnapshotHitRate(), 0.0);
+}
+
 TEST(HistogramTest, BucketsAndOverflow) {
   Histogram h(5.0, 10);
   h.Add(0.0);

@@ -1,0 +1,354 @@
+#include "src/obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace frn {
+namespace {
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) {
+        c.Add();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kAdds);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SecondsCounterTest, ConcurrentAddsSumExactly) {
+  SecondsCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) {
+        c.Add(0.5);  // exactly representable: the concurrent sum is exact
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_DOUBLE_EQ(c.value(), 0.5 * kThreads * kAdds);
+  c.Reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(GaugeTest, SetMaxIsHighWater) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.0);
+  g.SetMax(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.SetMax(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.Set(1.0);  // plain Set is last-write-wins, even downward
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ExpHistogramTest, BucketBoundaries) {
+  // lo=1, growth=2, 4 buckets: [0,1) [1,2) [2,4) [4,8) [8,16) + overflow.
+  ExpHistogramOptions opt;
+  opt.lo = 1.0;
+  opt.growth = 2.0;
+  opt.buckets = 4;
+  ExpHistogram h(opt);
+  h.Record(0.0);    // bucket 0
+  h.Record(0.999);  // bucket 0
+  h.Record(1.0);    // bucket 1 (lower bound is inclusive)
+  h.Record(1.999);  // bucket 1
+  h.Record(2.0);    // bucket 2
+  h.Record(8.0);    // bucket 4
+  h.Record(15.9);   // bucket 4
+  h.Record(16.0);   // overflow
+  h.Record(1e9);    // overflow
+  HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), opt.buckets + 2);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 0u);
+  EXPECT_EQ(s.counts[4], 2u);
+  EXPECT_EQ(s.counts[5], 2u);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 1e9);
+  EXPECT_DOUBLE_EQ(s.BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.BucketUpperBound(4), 16.0);
+}
+
+TEST(ExpHistogramTest, NegativeAndNanClampToZero) {
+  ExpHistogram h;
+  h.Record(-1.0);
+  h.Record(std::nan(""));
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.counts[0], 2u);  // both land in the [0, lo) bucket
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(ExpHistogramTest, EmptyPercentileIsZero) {
+  ExpHistogram h;
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(ExpHistogramTest, SingleSamplePercentileIsThatSample) {
+  ExpHistogram h;
+  h.Record(0.125);
+  HistogramSnapshot s = h.Snapshot();
+  // Interpolation is clamped to the observed [min, max] range, so any
+  // percentile of one sample is exactly that sample.
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.125);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.125);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 0.125);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.125);
+}
+
+TEST(ExpHistogramTest, PercentileOrderingAndRange) {
+  ExpHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i * 1e-3);  // 1ms .. 1s
+  }
+  HistogramSnapshot s = h.Snapshot();
+  double p50 = s.Percentile(50);
+  double p95 = s.Percentile(95);
+  double p99 = s.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, s.min);
+  EXPECT_LE(p99, s.max);
+  // With growth=2 the bucket containing the true p50 (0.5s) spans at most
+  // a factor-2 range, so interpolation stays within that range.
+  EXPECT_GT(p50, 0.25);
+  EXPECT_LT(p50, 1.0);
+}
+
+TEST(HistogramSnapshotTest, MergeAddsAndTracksExtremes) {
+  ExpHistogram a;
+  ExpHistogram b;
+  a.Record(1e-3);
+  a.Record(2e-3);
+  b.Record(5.0);
+  HistogramSnapshot sa = a.Snapshot();
+  HistogramSnapshot sb = b.Snapshot();
+  sa.Merge(sb);
+  EXPECT_EQ(sa.count, 3u);
+  EXPECT_DOUBLE_EQ(sa.sum, 1e-3 + 2e-3 + 5.0);
+  EXPECT_DOUBLE_EQ(sa.min, 1e-3);
+  EXPECT_DOUBLE_EQ(sa.max, 5.0);
+}
+
+TEST(HistogramSnapshotTest, MergeIntoEmptyCopiesOther) {
+  ExpHistogram a;
+  ExpHistogram b;
+  b.Record(0.25);
+  HistogramSnapshot sa = a.Snapshot();
+  sa.Merge(b.Snapshot());
+  EXPECT_EQ(sa.count, 1u);
+  EXPECT_DOUBLE_EQ(sa.min, 0.25);
+  EXPECT_DOUBLE_EQ(sa.max, 0.25);
+}
+
+TEST(HistogramSnapshotTest, IncompatibleLayoutsKeepOurs) {
+  ExpHistogramOptions small;
+  small.buckets = 4;
+  ExpHistogram a(small);
+  ExpHistogram b;  // default 32-bucket layout
+  a.Record(0.5);
+  b.Record(0.5);
+  HistogramSnapshot sa = a.Snapshot();
+  sa.Merge(b.Snapshot());  // layout mismatch: merge is a documented no-op
+  EXPECT_EQ(sa.count, 1u);
+  EXPECT_EQ(sa.counts.size(), small.buckets + 2);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("y"), a);
+  EXPECT_NE(static_cast<void*>(reg.GetSeconds("x")), static_cast<void*>(a));
+}
+
+TEST(RegistryTest, SnapshotReflectsAllInstrumentKinds) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(7);
+  reg.GetSeconds("s")->Add(1.5);
+  reg.GetGauge("g")->SetMax(4.0);
+  reg.GetHistogram("h")->Record(2e-6);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(snap.seconds.at("s"), 1.5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 4.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+
+  reg.Reset();
+  MetricsSnapshot zero = reg.Snapshot();
+  EXPECT_EQ(zero.counters.at("c"), 0u);  // name survives, value zeroed
+  EXPECT_DOUBLE_EQ(zero.seconds.at("s"), 0.0);
+  EXPECT_DOUBLE_EQ(zero.gauges.at("g"), 0.0);
+  EXPECT_EQ(zero.histograms.at("h").count, 0u);
+}
+
+TEST(RegistryTest, SnapshotMergeAddsCountersMaxesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("jobs")->Add(3);
+  b.GetCounter("jobs")->Add(4);
+  b.GetCounter("only_b")->Add(1);
+  a.GetSeconds("wall")->Add(1.0);
+  b.GetSeconds("wall")->Add(2.0);
+  a.GetGauge("depth")->SetMax(5.0);
+  b.GetGauge("depth")->SetMax(3.0);
+  a.GetHistogram("lat")->Record(1e-3);
+  b.GetHistogram("lat")->Record(2e-3);
+  MetricsSnapshot snap = a.Snapshot();
+  snap.Merge(b.Snapshot());
+  EXPECT_EQ(snap.counters.at("jobs"), 7u);
+  EXPECT_EQ(snap.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(snap.seconds.at("wall"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 5.0);  // gauges merge by max
+  EXPECT_EQ(snap.histograms.at("lat").count, 2u);
+}
+
+// 8 threads hammer a mix of instruments while the main thread snapshots
+// concurrently; the final snapshot must account for every update. Run under
+// TSan (tools/run_tsan.sh) this also proves the fast path is race-free.
+TEST(RegistryTest, ConcurrentWritersAndSnapshots) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter* c = reg.GetCounter("ops");
+      SecondsCounter* s = reg.GetSeconds("busy");
+      Gauge* g = reg.GetGauge("peak");
+      ExpHistogram* h = reg.GetHistogram("lat");
+      for (int i = 0; i < kOps; ++i) {
+        c->Add();
+        s->Add(0.25);
+        g->SetMax(static_cast<double>(t));
+        h->Record(1e-4);
+      }
+    });
+  }
+  // Interleave snapshots with the writers: totals are torn-free per
+  // instrument shard, so intermediate values just have to be sane.
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot s = reg.Snapshot();
+    if (s.counters.count("ops")) {
+      EXPECT_LE(s.counters["ops"], static_cast<uint64_t>(kThreads) * kOps);
+    }
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  MetricsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.counters.at("ops"), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_DOUBLE_EQ(s.seconds.at("busy"), 0.25 * kThreads * kOps);
+  EXPECT_DOUBLE_EQ(s.gauges.at("peak"), kThreads - 1.0);
+  EXPECT_EQ(s.histograms.at("lat").count, static_cast<uint64_t>(kThreads) * kOps);
+}
+
+TEST(RegistryJsonTest, SnapshotToJsonHasAllSections) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(2);
+  reg.GetHistogram("h")->Record(3e-6);
+  JsonValue doc = reg.Snapshot().ToJson();
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* c = counters->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->AsU64(), 2u);
+  const JsonValue* hists = doc.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* h = hists->Find("h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(h->Find("p50"), nullptr);
+  EXPECT_EQ(h->Find("count")->AsU64(), 1u);
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", "tx.exec");
+  obj.Set("count", static_cast<uint64_t>(42));
+  obj.Set("mean", 1.5);
+  obj.Set("ok", true);
+  obj.Set("nothing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1.0);
+  arr.Append("two");
+  arr.Append(false);
+  obj.Set("items", std::move(arr));
+
+  for (int indent : {-1, 0, 2}) {
+    JsonValue back;
+    std::string err;
+    ASSERT_TRUE(JsonValue::Parse(obj.Dump(indent), &back, &err)) << err;
+    EXPECT_EQ(back.Find("name")->AsString(), "tx.exec");
+    EXPECT_EQ(back.Find("count")->AsU64(), 42u);
+    EXPECT_DOUBLE_EQ(back.Find("mean")->AsDouble(), 1.5);
+    EXPECT_TRUE(back.Find("ok")->AsBool());
+    ASSERT_EQ(back.Find("items")->size(), 3u);
+    EXPECT_EQ(back.Find("items")->at(1).AsString(), "two");
+  }
+}
+
+TEST(JsonTest, StringEscapes) {
+  JsonValue v("quote \" backslash \\ newline \n tab \t ctrl \x01");
+  std::string dumped = v.Dump();
+  JsonValue back;
+  ASSERT_TRUE(JsonValue::Parse(dumped, &back, nullptr));
+  EXPECT_EQ(back.AsString(), v.AsString());
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(JsonValue::Parse("", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("{", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("tru", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("1 2", &v, &err));  // trailing garbage
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated", &v, &err));
+}
+
+TEST(JsonTest, IntegersSurviveExactly) {
+  // Integral doubles below 2^53 must not pick up an exponent/decimal point,
+  // or counter values would come back perturbed from a stats file.
+  JsonValue v(static_cast<uint64_t>(9007199254740991ull));  // 2^53 - 1
+  JsonValue back;
+  ASSERT_TRUE(JsonValue::Parse(v.Dump(), &back, nullptr));
+  EXPECT_EQ(back.AsU64(), 9007199254740991ull);
+}
+
+}  // namespace
+}  // namespace frn

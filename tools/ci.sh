@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Single-entry CI gate, in the order that fails fastest:
+#   1. tier-1: default build + full ctest suite (build/)
+#   2. ASan build + full ctest suite (build-asan/)
+#   3. TSan concurrency subset via tools/run_tsan.sh (build-tsan/)
+# Each stage uses its own build tree, so local incremental builds stay warm.
+#
+# Usage:  tools/ci.sh [--skip-asan] [--skip-tsan]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc)"
+skip_asan=0
+skip_tsan=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-asan) skip_asan=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
+    *) echo "usage: tools/ci.sh [--skip-asan] [--skip-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== CI stage 1: tier-1 build + tests ==="
+cmake -S "${repo_root}" -B "${repo_root}/build" >/dev/null
+cmake --build "${repo_root}/build" -j"${jobs}"
+(cd "${repo_root}/build" && ctest --output-on-failure -j"${jobs}")
+
+if [[ "${skip_asan}" == 0 ]]; then
+  echo "=== CI stage 2: AddressSanitizer build + tests ==="
+  cmake -S "${repo_root}" -B "${repo_root}/build-asan" -DFRN_SANITIZE=address >/dev/null
+  cmake --build "${repo_root}/build-asan" -j"${jobs}"
+  (cd "${repo_root}/build-asan" && ctest --output-on-failure -j"${jobs}")
+fi
+
+if [[ "${skip_tsan}" == 0 ]]; then
+  echo "=== CI stage 3: ThreadSanitizer concurrency subset ==="
+  "${repo_root}/tools/run_tsan.sh"
+fi
+
+echo "CI green."

@@ -3,18 +3,25 @@
 // Usage:
 //   forerunner_sim run [--scenario L1] [--strategy forerunner|baseline|
 //                       perfect|perfect-multi] [--duration SECONDS]
-//                      [--record FILE]
-//   forerunner_sim replay --from FILE [--strategy ...]
+//                      [--record FILE] [--trace-out FILE] [--stats-out FILE]
+//                      [--trace-sample RATE]
+//   forerunner_sim replay --from FILE [--strategy ...] [--trace-out FILE]
+//                         [--stats-out FILE]
 //   forerunner_sim scenarios
 //
 // `run` drives live emulated traffic through a baseline node plus the chosen
 // strategy node and prints the summary; with --record the traffic and chain
 // are captured to a replayable file. `replay` re-executes a recorded run.
+// --trace-out captures the transaction-lifecycle spans as Chrome trace_event
+// JSON (load it in chrome://tracing or feed it to tools/trace_summary.py);
+// --stats-out writes the strategy node's stats plus the global metrics
+// registry snapshot.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/obs/trace.h"
 #include "src/replay/recording.h"
 
 using namespace frn;
@@ -51,10 +58,37 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  forerunner_sim run [--scenario L1] [--strategy forerunner] "
-               "[--duration SEC] [--record FILE]\n"
-               "  forerunner_sim replay --from FILE [--strategy forerunner]\n"
+               "[--duration SEC] [--record FILE] [--trace-out FILE] "
+               "[--stats-out FILE] [--trace-sample RATE]\n"
+               "  forerunner_sim replay --from FILE [--strategy forerunner] "
+               "[--trace-out FILE] [--stats-out FILE]\n"
                "  forerunner_sim scenarios\n");
   return 2;
+}
+
+// Writes the requested trace / stats outputs after a run; returns false if a
+// write failed (the caller turns that into a nonzero exit).
+bool WriteObservability(const std::string& trace_out, const std::string& stats_out,
+                        const Node& node) {
+  bool ok = true;
+  if (!trace_out.empty()) {
+    if (!TraceCollector::Global().WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      ok = false;
+    } else {
+      std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                  TraceCollector::Global().event_count());
+    }
+  }
+  if (!stats_out.empty()) {
+    if (!node.WriteStatsJson(stats_out)) {
+      std::fprintf(stderr, "failed to write %s\n", stats_out.c_str());
+      ok = false;
+    } else {
+      std::printf("stats written to %s\n", stats_out.c_str());
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -68,6 +102,9 @@ int main(int argc, char** argv) {
   std::string strategy_name = "forerunner";
   std::string record_path;
   std::string from_path;
+  std::string trace_out;
+  std::string stats_out;
+  double trace_sample = 1.0;
   double duration = 0;
   for (int i = 2; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
@@ -82,9 +119,20 @@ int main(int argc, char** argv) {
       record_path = value;
     } else if (flag == "--from") {
       from_path = value;
+    } else if (flag == "--trace-out") {
+      trace_out = value;
+    } else if (flag == "--stats-out") {
+      stats_out = value;
+    } else if (flag == "--trace-sample") {
+      trace_sample = std::stod(value);
     } else {
       return Usage();
     }
+  }
+  if (!trace_out.empty()) {
+    TraceCollector::Options trace_options;
+    trace_options.sample_rate = trace_sample;
+    TraceCollector::Global().Enable(trace_options);
   }
 
   if (command == "scenarios") {
@@ -132,7 +180,8 @@ int main(int argc, char** argv) {
       std::printf("recording written to %s (%zu heard txs, %zu blocks)\n",
                   record_path.c_str(), recording.heard.size(), recording.blocks.size());
     }
-    return report.roots_consistent ? 0 : 1;
+    bool obs_ok = WriteObservability(trace_out, stats_out, node);
+    return (report.roots_consistent && obs_ok) ? 0 : 1;
   }
 
   if (command == "replay") {
@@ -164,7 +213,8 @@ int main(int argc, char** argv) {
     Node node(make_options(strategy), genesis);
     SimReport report = ReplayRecording(recording, {&baseline, &node});
     PrintSummary(report, 1);
-    return report.roots_consistent ? 0 : 1;
+    bool obs_ok = WriteObservability(trace_out, stats_out, node);
+    return (report.roots_consistent && obs_ok) ? 0 : 1;
   }
 
   return Usage();

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the repo with ThreadSanitizer (-DFRN_SANITIZE=thread) into build-tsan/
 # and runs the concurrency-sensitive tests: the SharedStateCache / KvStore
-# stress test, the parallel speculation engine determinism test, and the full
-# forerunner node test. Pass --all to run the entire ctest suite under TSan
-# instead (slow).
+# stress test, the parallel speculation engine determinism test, the full
+# forerunner node test, and the observability tests (sharded metrics registry
+# under concurrent writers, trace capture during a threaded scenario). Pass
+# --all to run the entire ctest suite under TSan instead (slow).
 #
 # Usage:  tools/run_tsan.sh [--all]
 set -euo pipefail
@@ -12,8 +13,10 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-tsan"
 
 cmake -S "${repo_root}" -B "${build_dir}" -DFRN_SANITIZE=thread >/dev/null
-cmake --build "${build_dir}" -j"$(nproc)" --target \
-  concurrency_stress_test spec_pool_test forerunner_test
+tsan_tests=(concurrency_stress_test spec_pool_test forerunner_test
+            obs_registry_test trace_format_test)
+
+cmake --build "${build_dir}" -j"$(nproc)" --target "${tsan_tests[@]}"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
@@ -21,7 +24,7 @@ if [[ "${1:-}" == "--all" ]]; then
   cmake --build "${build_dir}" -j"$(nproc)"
   (cd "${build_dir}" && ctest --output-on-failure)
 else
-  for test in concurrency_stress_test spec_pool_test forerunner_test; do
+  for test in "${tsan_tests[@]}"; do
     echo "=== TSan: ${test} ==="
     "${build_dir}/tests/${test}"
   done

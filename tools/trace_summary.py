@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace_event JSON produced by --trace-out.
+
+Groups complete spans (ph == "X") by (category, name) and prints count,
+total/mean/p50/p95 duration, plus instant-event counts — a quick terminal
+view of where a run spent its wall time without opening chrome://tracing.
+
+Usage:  tools/trace_summary.py TRACE.json [--sort total|count|mean]
+"""
+import argparse
+import json
+import sys
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank-with-interpolation percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def fmt_us(us):
+    """Render microseconds with a unit that keeps the mantissa readable."""
+    if us >= 1e6:
+        return f"{us / 1e6:.3f} s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f} ms"
+    return f"{us:.1f} us"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="trace JSON written by --trace-out")
+    parser.add_argument("--sort", choices=["total", "count", "mean"], default="total",
+                        help="span table sort key (default: total duration)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("error: no traceEvents array in document", file=sys.stderr)
+        return 1
+
+    spans = {}     # (cat, name) -> list of durations (us)
+    instants = {}  # (cat, name) -> count
+    tids = set()
+    for e in events:
+        ph = e.get("ph")
+        key = (e.get("cat", ""), e.get("name", "?"))
+        if ph == "X":
+            spans.setdefault(key, []).append(float(e.get("dur", 0.0)))
+            tids.add(e.get("tid"))
+        elif ph == "i":
+            instants[key] = instants.get(key, 0) + 1
+            tids.add(e.get("tid"))
+
+    total_spans = sum(len(v) for v in spans.values())
+    print(f"{args.trace}: {total_spans} spans, "
+          f"{sum(instants.values())} instants, {len(tids)} thread(s)")
+    if not spans:
+        return 0
+
+    rows = []
+    for (cat, name), durs in spans.items():
+        durs.sort()
+        total = sum(durs)
+        rows.append({
+            "cat": cat,
+            "name": name,
+            "count": len(durs),
+            "total": total,
+            "mean": total / len(durs),
+            "p50": percentile(durs, 50),
+            "p95": percentile(durs, 95),
+        })
+    rows.sort(key=lambda r: r[args.sort], reverse=True)
+
+    print(f"\n{'span':<22} {'cat':<10} {'count':>8} {'total':>12} "
+          f"{'mean':>12} {'p50':>12} {'p95':>12}")
+    for r in rows:
+        print(f"{r['name']:<22} {r['cat']:<10} {r['count']:>8} "
+              f"{fmt_us(r['total']):>12} {fmt_us(r['mean']):>12} "
+              f"{fmt_us(r['p50']):>12} {fmt_us(r['p95']):>12}")
+
+    if instants:
+        print(f"\n{'instant':<22} {'cat':<10} {'count':>8}")
+        for (cat, name), count in sorted(instants.items(), key=lambda kv: -kv[1]):
+            print(f"{name:<22} {cat:<10} {count:>8}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
