@@ -227,23 +227,50 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
       continue;
     }
 
-    // Temporary fork: a competing block from another miner reaches us first,
-    // gets executed, and is reorged away when the winner arrives.
+    // Temporary fork: a competing branch from another miner reaches us first,
+    // gets executed block by block, and is reorged away when the winner
+    // arrives. At max_fork_depth == 1 this draws exactly the RNG sequence of
+    // the single-block fork flow (no depth draw); deeper settings let the
+    // rival extend its losing branch before the resolution.
     if (miners_.size() > 1 && rng_.Chance(options_.fork_rate)) {
       size_t rival = (winner + 1 + rng_.NextBounded(miners_.size() - 1)) % miners_.size();
       const MinerModel& rival_miner = miners_[rival];
-      std::vector<Transaction> rival_txs =
-          PackBlock(rival_miner, now, miner_heard[rival], included, chain_nonces);
-      if (!rival_txs.empty()) {
+      size_t target_depth =
+          options_.max_fork_depth <= 1
+              ? 1
+              : 1 + static_cast<size_t>(rng_.NextBounded(options_.max_fork_depth));
+      // The rival packs against its own view of the chain; its inclusions and
+      // nonce advances stay local to the losing branch so the winner can still
+      // claim the same transactions.
+      std::vector<bool> rival_included = included;
+      auto rival_nonces = chain_nonces;
+      uint64_t rival_ts = last_block_ts;
+      size_t executed_depth = 0;
+      for (size_t d = 0; d < target_depth; ++d) {
+        std::vector<Transaction> rival_txs =
+            PackBlock(rival_miner, now, miner_heard[rival], rival_included, rival_nonces);
+        if (rival_txs.empty()) {
+          break;
+        }
         Block fork_block;
-        fork_block.header.number = block_number + 1;
+        fork_block.header.number = block_number + 1 + d;
         fork_block.header.timestamp =
             std::max(options_.base_timestamp + static_cast<uint64_t>(now) +
                          static_cast<uint64_t>(rival_miner.timestamp_skew + 3) - 3,
-                     last_block_ts + 1);
+                     rival_ts + 1);
+        rival_ts = fork_block.header.timestamp;
         fork_block.header.coinbase = rival_miner.coinbase;
         fork_block.header.gas_limit = options_.block_gas_limit;
         fork_block.txs = std::move(rival_txs);
+        for (const Transaction& tx : fork_block.txs) {
+          rival_nonces[tx.sender] = tx.nonce + 1;
+          for (size_t i = 0; i < traffic_.size(); ++i) {
+            if (traffic_[i].tx.id == tx.id) {
+              rival_included[i] = true;
+              break;
+            }
+          }
+        }
         Hash first_root;
         for (size_t n = 0; n < nodes.size(); ++n) {
           BlockExecReport exec = nodes[n]->ExecuteBlock(fork_block, now);
@@ -258,14 +285,21 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
           }
         }
         ++report.fork_blocks;
+        ++executed_depth;
+      }
+      if (executed_depth > 0) {
+        report.max_fork_depth_seen =
+            std::max(report.max_fork_depth_seen, static_cast<uint64_t>(executed_depth));
         forks->Add();
         EmitInstant(collector, "dice", "dice.fork",
                     {TraceArg::U64("block", block_number + 1), TraceArg::F64("sim_time", now)});
         // The losing branch stays our head while the winner's branch
         // propagates; the orphaned transactions re-enter the pool on reorg
         // and the speculation pipeline gets to re-process them.
-        for (Node* node : nodes) {
-          node->RollbackHead();
+        for (size_t d = 0; d < executed_depth; ++d) {
+          for (Node* node : nodes) {
+            node->RollbackHead();
+          }
         }
         double winner_time = now + options_.fork_resolution_delay;
         for (double t = now + options_.pipeline_period; t < winner_time;
@@ -356,6 +390,8 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
     report.nodes[n].synthesis_stats = nodes[n]->synthesis_stats();
     report.nodes[n].ap_stats = nodes[n]->ap_stats();
     report.nodes[n].executed_speculations = nodes[n]->executed_speculations();
+    report.nodes[n].mempool = nodes[n]->mempool_stats();
+    report.nodes[n].spec_cache = nodes[n]->spec_cache_stats();
   }
   return report;
 }

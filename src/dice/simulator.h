@@ -57,6 +57,12 @@ struct DiceOptions {
   // How long the losing branch stays our head before the winning branch
   // arrives and triggers the reorg (off-path time to re-speculate).
   double fork_resolution_delay = 6.0;
+  // Maximum length of a temporary fork branch: each fork event extends the
+  // losing branch by 1..max_fork_depth blocks before the reorg unwinds them
+  // all. Must not exceed the nodes' chain.max_reorg_depth. The default of 1
+  // reproduces the single-block forks of earlier versions exactly (no extra
+  // RNG draws).
+  size_t max_fork_depth = 1;
   uint64_t seed = 0xD1CE;
 };
 
@@ -78,12 +84,15 @@ struct NodeRunStats {
   std::vector<SynthesisStats> synthesis_stats;
   std::vector<ApStats> ap_stats;
   std::vector<Node::SpecSummary> executed_speculations;
+  MempoolStats mempool;
+  SpecCacheStats spec_cache;
 };
 
 struct SimReport {
   std::string scenario;
   uint64_t blocks = 0;       // main-chain blocks
   uint64_t fork_blocks = 0;  // temporary-fork blocks executed then reorged away
+  uint64_t max_fork_depth_seen = 0;  // deepest losing branch actually built
   uint64_t txs_packed = 0;   // main-chain transactions
   uint64_t txs_sent = 0;
   std::vector<double> heard_delays;     // per heard tx: execution - heard time

@@ -1,0 +1,77 @@
+#include "src/forerunner/chain_manager.h"
+
+namespace frn {
+
+ChainManager::ChainManager(Mpt* trie, SharedStateCache* shared_cache,
+                           const ChainManagerOptions& options)
+    : options_(options), trie_(trie), shared_cache_(shared_cache) {}
+
+void ChainManager::ReopenState() {
+  shared_cache_->Reset(head_root_);
+  state_ = std::make_unique<StateDb>(trie_, head_root_, shared_cache_);
+}
+
+void ChainManager::SetGenesis(const Hash& root) {
+  head_root_ = root;
+  head_ = BlockContext{};
+  head_.number = 0;
+  head_first_seen_ = 0;
+  chain_nonces_.clear();
+  undo_.clear();
+  state_ = std::make_unique<StateDb>(trie_, head_root_, shared_cache_);
+  shared_cache_->Reset(head_root_);
+}
+
+void ChainManager::BeginBlock(const Block& block, double first_seen) {
+  (void)block;  // the undone block's content arrives later via AttachOrphan
+  pending_.parent_root = head_root_;
+  pending_.parent_header = head_;
+  pending_.parent_nonces = chain_nonces_;
+  pending_.parent_first_seen = head_first_seen_;
+  pending_.orphans.clear();
+  pending_first_seen_ = first_seen;
+}
+
+Hash ChainManager::CommitState() { return state_->Commit(); }
+
+void ChainManager::AdvanceHead(const BlockContext& header, const Hash& root) {
+  head_ = header;
+  head_root_ = root;
+  head_first_seen_ = pending_first_seen_;
+  ReopenState();
+  undo_.push_back(std::move(pending_));
+  pending_ = UndoRecord{};
+  while (undo_.size() > options_.max_reorg_depth) {
+    undo_.pop_front();  // fell off the reorg window; bookkeeping is released
+  }
+}
+
+void ChainManager::AttachOrphan(OrphanedTx&& orphan) {
+  if (!undo_.empty()) {
+    undo_.back().orphans.push_back(std::move(orphan));
+  }
+}
+
+std::vector<OrphanedTx> ChainManager::RollbackHead() {
+  if (undo_.empty()) {
+    return {};
+  }
+  UndoRecord record = std::move(undo_.back());
+  undo_.pop_back();
+  head_root_ = record.parent_root;
+  head_ = record.parent_header;
+  head_first_seen_ = record.parent_first_seen;
+  chain_nonces_ = std::move(record.parent_nonces);
+  ReopenState();
+  ++rollbacks_;
+  return std::move(record.orphans);
+}
+
+bool ChainManager::ShouldAdopt(const BranchTip& current, const BranchTip& candidate) {
+  if (candidate.height != current.height) {
+    return candidate.height > current.height;
+  }
+  return candidate.first_seen < current.first_seen;
+}
+
+}  // namespace frn

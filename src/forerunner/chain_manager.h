@@ -1,0 +1,125 @@
+// The chain/state lifecycle manager (paper Fig. 3, consensus-to-execution
+// boundary): a block history over StateDb roots supporting multi-depth
+// reorgs. Because the Merkle-Patricia trie is persistent, every recent root
+// stays readable for free; the manager keeps a bounded undo window (root,
+// header, nonce map, and the undone block's orphaned transactions) and can
+// walk the head back up to `max_reorg_depth` blocks, handing the orphans back
+// for mempool re-injection. Dropping a record that falls off the window is
+// what bounds the per-transaction bookkeeping (the pre-decomposition node
+// kept heard-times forever).
+//
+// Threading: owned by the node's coordinator thread; speculation workers read
+// old roots through the persistent trie and never touch this object.
+#ifndef SRC_FORERUNNER_CHAIN_MANAGER_H_
+#define SRC_FORERUNNER_CHAIN_MANAGER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dice/block.h"
+#include "src/forerunner/spec_manager.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+
+struct ChainManagerOptions {
+  // How many committed blocks can be undone. The window only bounds how much
+  // undo history is retained: a single rollback behaves identically at any
+  // depth >= 1, so the default deepens the pre-decomposition single-depth
+  // support without changing its behaviour.
+  size_t max_reorg_depth = 4;
+};
+
+// A transaction orphaned by a rollback: what the mempool and speculation
+// manager need to re-admit it.
+struct OrphanedTx {
+  Transaction tx;
+  double heard_at = 0;
+  bool heard = false;           // was resident in the mempool when included
+  RetiredSpeculation spec;      // parked speculation (retain_across_reorg only)
+};
+
+class ChainManager {
+ public:
+  ChainManager(Mpt* trie, SharedStateCache* shared_cache,
+               const ChainManagerOptions& options);
+
+  // Installs the genesis root as the head (block number 0) and opens the
+  // execution state view.
+  void SetGenesis(const Hash& root);
+
+  StateDb* state() { return state_.get(); }
+  const Hash& head_root() const { return head_root_; }
+  const BlockContext& head() const { return head_; }
+  std::unordered_map<Address, uint64_t, AddressHasher>& chain_nonces() {
+    return chain_nonces_;
+  }
+  const std::unordered_map<Address, uint64_t, AddressHasher>& chain_nonces() const {
+    return chain_nonces_;
+  }
+
+  // Snapshot the pre-block state into a pending undo record. Called at the
+  // top of block execution, before any transaction mutates the nonce map.
+  void BeginBlock(const Block& block, double first_seen);
+  // Commits the execution state; the only chain work inside the measured
+  // commit span (identical to the pre-decomposition node).
+  Hash CommitState();
+  // Moves the head (off the measured path): resets the shared cache, reopens
+  // the state view, finalizes the pending undo record, and prunes the undo
+  // window to max_reorg_depth.
+  void AdvanceHead(const BlockContext& header, const Hash& root);
+  // Attaches an orphan candidate to the just-advanced block's undo record.
+  void AttachOrphan(OrphanedTx&& orphan);
+
+  bool CanRollback() const { return !undo_.empty(); }
+  size_t reorg_window() const { return undo_.size(); }
+  size_t max_reorg_depth() const { return options_.max_reorg_depth; }
+  uint64_t rollbacks() const { return rollbacks_; }
+
+  // Undoes the most recent block: head root/header/nonces return to the
+  // parent, and the undone block's orphans are handed back for re-injection.
+  // Call repeatedly for deeper reorgs (up to the retained window).
+  std::vector<OrphanedTx> RollbackHead();
+
+  // Fork choice: longest chain wins; equal-height ties go to the branch seen
+  // first. (DiCE's scripted winner/rival resolution models the network
+  // settling equal-height ties by accumulated weight instead, so its reorgs
+  // are driven explicitly; this policy is what a live node would apply.)
+  struct BranchTip {
+    uint64_t height = 0;
+    double first_seen = 0;
+  };
+  static bool ShouldAdopt(const BranchTip& current, const BranchTip& candidate);
+  BranchTip head_tip() const { return BranchTip{head_.number, head_first_seen_}; }
+
+ private:
+  struct UndoRecord {
+    Hash parent_root;
+    BlockContext parent_header;
+    std::unordered_map<Address, uint64_t, AddressHasher> parent_nonces;
+    double parent_first_seen = 0;
+    std::vector<OrphanedTx> orphans;
+  };
+
+  void ReopenState();
+
+  ChainManagerOptions options_;
+  Mpt* trie_;
+  SharedStateCache* shared_cache_;
+  std::unique_ptr<StateDb> state_;
+  Hash head_root_;
+  BlockContext head_;
+  double head_first_seen_ = 0;
+  std::unordered_map<Address, uint64_t, AddressHasher> chain_nonces_;
+
+  UndoRecord pending_;
+  double pending_first_seen_ = 0;
+  std::deque<UndoRecord> undo_;  // oldest first; back() is the head's parent
+  uint64_t rollbacks_ = 0;
+};
+
+}  // namespace frn
+
+#endif  // SRC_FORERUNNER_CHAIN_MANAGER_H_

@@ -30,25 +30,31 @@ Node::Node(const NodeOptions& options, const std::function<void(StateDb*)>& gene
       rng_(options.rng_seed),
       predictor_(options.predictor),
       spec_pool_(&trie_, options.speculator, ResolveSpecWorkers(options)),
-      prefetcher_(&trie_, &shared_cache_) {
+      prefetcher_(&trie_, &shared_cache_),
+      mempool_(options.mempool),
+      spec_(options.spec),
+      chain_(&trie_, &shared_cache_, options.chain) {
   StateDb genesis_state(&trie_, Mpt::EmptyRoot());
   genesis(&genesis_state);
-  head_root_ = genesis_state.Commit();
-  head_.number = 0;
-  state_ = std::make_unique<StateDb>(&trie_, head_root_, &shared_cache_);
-  shared_cache_.Reset(head_root_);
+  chain_.SetGenesis(genesis_state.Commit());
 }
 
 void Node::OnHeard(const Transaction& tx, double sim_time) {
-  if (heard_at_.contains(tx.id)) {
+  Mempool::AddResult added = mempool_.Add(tx, sim_time);
+  // Any transaction the pool displaced takes its speculation state with it.
+  if (added.replaced_id != 0) {
+    spec_.Drop(added.replaced_id);
+  }
+  for (uint64_t evicted : added.evicted_ids) {
+    spec_.Drop(evicted);
+  }
+  if (!added.accepted()) {
     return;
   }
-  heard_at_.emplace(tx.id, sim_time);
-  pool_.push_back(PendingTx{tx, sim_time});
   static Counter* heard = MetricsRegistry::Global().GetCounter("mempool.heard");
   static Gauge* pending = MetricsRegistry::Global().GetGauge("mempool.pending");
   heard->Add();
-  pending->SetMax(static_cast<double>(pool_.size()));
+  pending->SetMax(static_cast<double>(mempool_.size()));
   TraceCollector* collector = &TraceCollector::Global();
   if (collector->enabled() && collector->SampleTx(tx.id)) {
     EmitInstant(collector, "mempool", "tx.heard",
@@ -68,7 +74,8 @@ void Node::RunSpeculationPipeline(double sim_time) {
   TraceCollector* collector = &TraceCollector::Global();
   TraceSpan predict_span(collector, "predict", "round.predict", predict_wall);
   std::vector<TxPrediction> predictions = predictor_.PredictNextBlock(
-      pool_, head_, chain_nonces_, head_.gas_limit, &rng_);
+      mempool_.View(), chain_.head(), chain_.chain_nonces(),
+      chain_.head().gas_limit, &rng_);
   predict_span.AddArg(TraceArg::U64("txs", predictions.size()));
   predict_span.Finish();
   rounds->Add();
@@ -82,24 +89,8 @@ void Node::RunSpeculationPipeline(double sim_time) {
   // copy of the transaction's accumulated speculation state; each tx appears
   // at most once per round, so jobs are mutually independent and execute
   // against the same immutable head snapshot.
-  std::vector<SpecJob> jobs;
-  for (const TxPrediction& prediction : predictions) {
-    // Re-speculate only when the head moved since the last speculation of
-    // this transaction.
-    auto done = speculated_at_root_.find(prediction.tx.id);
-    if (done != speculated_at_root_.end() && done->second == head_root_) {
-      continue;
-    }
-    speculated_at_root_[prediction.tx.id] = head_root_;
-    SpecJob job;
-    job.root = head_root_;
-    job.tx = prediction.tx;
-    size_t futures = std::min(prediction.futures.size(), futures_cap);
-    job.futures.assign(prediction.futures.begin(),
-                       prediction.futures.begin() + futures);
-    job.spec = speculations_[prediction.tx.id];
-    jobs.push_back(std::move(job));
-  }
+  std::vector<SpecJob> jobs =
+      spec_.BuildJobs(predictions, chain_.head_root(), futures_cap);
   if (jobs.empty()) {
     return;
   }
@@ -108,55 +99,22 @@ void Node::RunSpeculationPipeline(double sim_time) {
   TraceSpan speculate_span(collector, "spec", "round.speculate", round_wall);
   speculate_span.AddArg(TraceArg::U64("jobs", jobs.size()));
   std::vector<SpecJobResult> results = spec_pool_.RunBatch(std::move(jobs));
-  total_speculation_wall_seconds_ += spec_pool_.last_batch_wall_seconds();
+  spec_.AddWallSeconds(spec_pool_.last_batch_wall_seconds());
   speculate_span.AddArg(
       TraceArg::F64("modeled_wall_s", spec_pool_.last_batch_wall_seconds()));
-  // Merge on the coordinator in submission (= prediction) order: the stat
-  // streams and AP contents come out identical for any worker count.
-  for (SpecJobResult& result : results) {
-    TxSpeculation& spec = speculations_[result.spec.tx_id];
-    bool speculated_before = spec.futures > 0;
-    double prev_exec = spec.plain_exec_seconds;
-    spec = std::move(result.spec);
-    for (const SpecFutureOutcome& outcome : result.outcomes) {
-      ++futures_speculated_;
-      if (!outcome.synthesized) {
-        ++synthesis_failures_;
-      } else {
-        synthesis_stats_.push_back(outcome.stats);
-      }
-    }
-    if (spec.has_ap) {
-      ap_stats_.push_back(spec.ap.stats());
-    }
-    // Charge this round's modeled cost to simulated availability: the
-    // executing thread's CPU time plus the deferred cold-read latency — the
-    // same store-miss stalls the pre-pool pipeline physically spun through,
-    // now charged by the accounting model so the cost is independent of how
-    // the OS schedules the executor threads. An AP merged in an earlier round
-    // stays usable, so availability never regresses. Note this is still a
-    // measurement: with speculation_time_scale > 0, AP readiness varies run
-    // to run (at any worker count); scale = 0 makes outcomes exact.
-    double round_cost = result.exec_seconds;
-    double candidate = sim_time + round_cost * options_.speculation_time_scale;
-    spec.available_at =
-        speculated_before ? std::min(spec.available_at, candidate) : candidate;
-    total_speculation_seconds_ += round_cost;
-    total_speculated_exec_seconds_ += spec.plain_exec_seconds - prev_exec;
-    // Prefetch the union read set for the current head.
-    if (options_.enable_prefetch) {
-      prefetcher_.Prefetch(head_root_, spec.read_set);
-    }
-  }
+  // Merge on the coordinator in submission (= prediction) order, prefetching
+  // each merged union read set for the current head.
+  spec_.MergeResults(&results, sim_time, options_.speculation_time_scale,
+                     [this](const ReadSet& read_set) {
+                       if (options_.enable_prefetch) {
+                         prefetcher_.Prefetch(chain_.head_root(), read_set);
+                       }
+                     });
 }
 
 BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
-  // Remember the pre-block state for a potential single-depth reorg.
-  has_parent_ = true;
-  parent_root_ = head_root_;
-  parent_header_ = head_;
-  parent_chain_nonces_ = chain_nonces_;
-  last_block_txs_ = block.txs;
+  // Snapshot the pre-block state into the chain manager's undo window.
+  chain_.BeginBlock(block, sim_time);
 
   static Counter* blocks = MetricsRegistry::Global().GetCounter("exec.blocks");
   static Counter* txs_counter = MetricsRegistry::Global().GetCounter("exec.txs");
@@ -179,14 +137,11 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
   for (const Transaction& tx : block.txs) {
     TxExecRecord record;
     record.tx_id = tx.id;
-    record.heard = heard_at_.contains(tx.id);
+    record.heard = mempool_.Contains(tx.id);
 
     const TxSpeculation* spec = nullptr;
     if (options_.strategy != ExecStrategy::kBaseline) {
-      auto it = speculations_.find(tx.id);
-      if (it != speculations_.end() && it->second.available_at <= sim_time) {
-        spec = &it->second;
-      }
+      spec = spec_.Lookup(tx.id, sim_time);
     }
     record.speculated = spec != nullptr;
 
@@ -196,7 +151,7 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
                       collector->enabled() && collector->SampleTx(tx.id));
     Stopwatch tx_watch;
     AccelOutcome outcome =
-        Accelerator::Execute(state_.get(), block.header, tx, spec, options_.strategy);
+        Accelerator::Execute(chain_.state(), block.header, tx, spec, options_.strategy);
     record.seconds = tx_watch.ElapsedSeconds();
     record.accelerated = outcome.accelerated;
     record.perfect = outcome.perfect;
@@ -222,12 +177,12 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
 
     if (record.status != ExecStatus::kBadNonce &&
         record.status != ExecStatus::kInsufficientBalance) {
-      chain_nonces_[tx.sender] = tx.nonce + 1;
+      chain_.chain_nonces()[tx.sender] = tx.nonce + 1;
     }
   }
   {
     TraceSpan commit_span(collector, "block", "block.commit", commit_wall);
-    report.state_root = state_->Commit();
+    report.state_root = chain_.CommitState();
   }
   report.total_seconds = block_watch.ElapsedSeconds();
   blocks->Add();
@@ -237,58 +192,44 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
   block_span.Finish();
 
   // Chain bookkeeping (off the measured path).
-  head_ = block.header;
-  head_root_ = report.state_root;
-  shared_cache_.Reset(head_root_);
-  state_ = std::make_unique<StateDb>(&trie_, head_root_, &shared_cache_);
-  // Drop executed transactions from the pool and their speculation state,
-  // keeping a summary for the §5.5 statistics.
+  chain_.AdvanceHead(block.header, report.state_root);
+  // Retire executed transactions from the pool and their speculation state
+  // (keeping a summary for the §5.5 statistics); what a rollback would need
+  // to re-admit them is parked in the undo record.
   for (const Transaction& tx : block.txs) {
-    pool_.erase(std::remove_if(pool_.begin(), pool_.end(),
-                               [&](const PendingTx& p) { return p.tx.id == tx.id; }),
-                pool_.end());
-    auto it = speculations_.find(tx.id);
-    if (it != speculations_.end()) {
-      SpecSummary summary;
-      summary.tx_id = tx.id;
-      summary.futures = it->second.futures;
-      if (it->second.has_ap) {
-        const ApStats& stats = it->second.ap.stats();
-        summary.paths = stats.paths;
-        summary.shortcut_nodes = stats.shortcut_nodes;
-        summary.memo_entries = stats.memo_entries;
-        summary.instr_nodes = stats.instr_nodes;
-      }
-      executed_speculations_.push_back(summary);
-      speculations_.erase(it);
+    double heard_time = 0;
+    bool was_heard = mempool_.Retire(tx.id, &heard_time);
+    RetiredSpeculation parked = spec_.Retire(tx.id);
+    if (was_heard || parked.has) {
+      chain_.AttachOrphan(OrphanedTx{tx, heard_time, was_heard, std::move(parked)});
     }
-    speculated_at_root_.erase(tx.id);
   }
   return report;
 }
 
 void Node::RollbackHead() {
-  if (!has_parent_) {
+  if (!chain_.CanRollback()) {
     return;
   }
   static Counter* rollbacks = MetricsRegistry::Global().GetCounter("chain.rollbacks");
   rollbacks->Add();
+  std::vector<OrphanedTx> orphans = chain_.RollbackHead();
   EmitInstant(&TraceCollector::Global(), "block", "chain.rollback",
-              {TraceArg::U64("to_block", parent_header_.number)});
-  head_root_ = parent_root_;
-  head_ = parent_header_;
-  chain_nonces_ = parent_chain_nonces_;
-  shared_cache_.Reset(head_root_);
-  state_ = std::make_unique<StateDb>(&trie_, head_root_, &shared_cache_);
+              {TraceArg::U64("to_block", chain_.head().number)});
   // Orphaned transactions return to the pending pool (if we ever heard them)
-  // and will be re-speculated against the restored head.
-  for (const Transaction& tx : last_block_txs_) {
-    auto it = heard_at_.find(tx.id);
-    if (it != heard_at_.end()) {
-      pool_.push_back(PendingTx{tx, it->second});
+  // and will be re-speculated against the restored head — unless a parked
+  // speculation still covering one of their retained roots comes back.
+  for (OrphanedTx& orphan : orphans) {
+    if (orphan.heard) {
+      Mempool::AddResult readded = mempool_.Reinsert(orphan.tx, orphan.heard_at);
+      for (uint64_t evicted : readded.evicted_ids) {
+        spec_.Drop(evicted);
+      }
+    }
+    if (orphan.spec.has && mempool_.Contains(orphan.tx.id)) {
+      spec_.Restore(orphan.tx.id, std::move(orphan.spec));
     }
   }
-  has_parent_ = false;  // only single-depth reorgs are supported
 }
 
 JsonValue Node::StatsJson() const {
@@ -296,12 +237,12 @@ JsonValue Node::StatsJson() const {
   node.Set("strategy", StrategyName(options_.strategy));
   node.Set("spec_workers", static_cast<uint64_t>(spec_pool_.workers()));
   node.Set("pool_size", pool_size());
-  node.Set("head_block", head_.number);
-  node.Set("speculation_seconds", total_speculation_seconds_);
-  node.Set("speculation_wall_seconds", total_speculation_wall_seconds_);
-  node.Set("speculated_exec_seconds", total_speculated_exec_seconds_);
-  node.Set("futures_speculated", futures_speculated_);
-  node.Set("synthesis_failures", synthesis_failures_);
+  node.Set("head_block", chain_.head().number);
+  node.Set("speculation_seconds", spec_.total_speculation_seconds());
+  node.Set("speculation_wall_seconds", spec_.total_speculation_wall_seconds());
+  node.Set("speculated_exec_seconds", spec_.total_speculated_exec_seconds());
+  node.Set("futures_speculated", spec_.futures_speculated());
+  node.Set("synthesis_failures", spec_.synthesis_failures());
 
   KvStoreStats store = store_.stats();
   JsonValue store_json = JsonValue::Object();
@@ -324,6 +265,37 @@ JsonValue Node::StatsJson() const {
     workers.Append(std::move(wj));
   }
   node.Set("spec_worker_stats", std::move(workers));
+
+  MempoolStats pool = mempool_.stats();
+  JsonValue pool_json = JsonValue::Object();
+  pool_json.Set("size", static_cast<uint64_t>(pool.size));
+  pool_json.Set("max_size_seen", static_cast<uint64_t>(pool.max_size_seen));
+  pool_json.Set("heard", pool.heard);
+  pool_json.Set("duplicates", pool.duplicates);
+  pool_json.Set("replacements", pool.replacements);
+  pool_json.Set("underpriced", pool.underpriced);
+  pool_json.Set("evictions", pool.evictions);
+  pool_json.Set("reinserted", pool.reinserted);
+  pool_json.Set("retired", pool.retired);
+  node.Set("mempool", std::move(pool_json));
+
+  SpecCacheStats cache = spec_.stats();
+  JsonValue cache_json = JsonValue::Object();
+  cache_json.Set("entries", static_cast<uint64_t>(cache.entries));
+  cache_json.Set("max_entries_seen", static_cast<uint64_t>(cache.max_entries_seen));
+  cache_json.Set("evictions", cache.evictions);
+  cache_json.Set("retired", cache.retired);
+  cache_json.Set("restored", cache.restored);
+  cache_json.Set("reorg_hits", cache.reorg_hits);
+  cache_json.Set("root_skips", cache.root_skips);
+  cache_json.Set("dropped", cache.dropped);
+  node.Set("spec_cache", std::move(cache_json));
+
+  JsonValue chain_json = JsonValue::Object();
+  chain_json.Set("reorg_window", static_cast<uint64_t>(chain_.reorg_window()));
+  chain_json.Set("max_reorg_depth", static_cast<uint64_t>(chain_.max_reorg_depth()));
+  chain_json.Set("rollbacks", chain_.rollbacks());
+  node.Set("chain", std::move(chain_json));
 
   JsonValue doc = JsonValue::Object();
   doc.Set("node", std::move(node));

@@ -1,8 +1,15 @@
-// A full node with Forerunner integrated (paper Fig. 3). Owns its chain state
-// (KvStore + Merkle-Patricia trie + StateDb), hears transactions from the
-// dissemination layer, drives the multi-future predictor / speculator /
-// prefetcher off the critical path, and executes blocks on the critical path
-// through the transaction execution accelerator. A node configured with
+// A full node with Forerunner integrated (paper Fig. 3), decomposed into
+// three owned subsystems with the Node as a thin orchestrator:
+//   - Mempool (dissemination): per-sender nonce-ordered queues with
+//     replacement-by-fee and bounded capacity (src/forerunner/mempool.h);
+//   - SpeculationManager (prediction/speculation): the full TxSpeculation
+//     lifecycle — build, merge, lookup, retire, reorg restoration
+//     (src/forerunner/spec_manager.h);
+//   - ChainManager (execution/consensus): chain head, StateDb lifecycle and
+//     multi-depth reorg undo window (src/forerunner/chain_manager.h).
+// All subsystem options default to the pre-decomposition behaviour, so a
+// default-configured node produces bit-identical state roots and counted
+// statistics to the monolithic implementation. A node configured with
 // ExecStrategy::kBaseline is the unmodified reference node.
 #ifndef SRC_FORERUNNER_NODE_H_
 #define SRC_FORERUNNER_NODE_H_
@@ -10,12 +17,15 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "src/dice/block.h"
 #include "src/forerunner/accelerator.h"
+#include "src/forerunner/chain_manager.h"
+#include "src/forerunner/mempool.h"
 #include "src/forerunner/predictor.h"
 #include "src/forerunner/prefetcher.h"
+#include "src/forerunner/spec_manager.h"
 #include "src/forerunner/spec_pool.h"
 #include "src/obs/json.h"
 
@@ -47,6 +57,13 @@ struct NodeOptions {
   KvStore::Options store;
   PredictorOptions predictor;
   Speculator::Options speculator;
+  // Subsystem knobs; every default reproduces the pre-decomposition node
+  // exactly (unbounded pool, latest-root-only speculation, nothing retained
+  // across reorgs, and a 4-deep undo window whose extra depth is pure
+  // history — a single rollback behaves identically).
+  MempoolOptions mempool;
+  ChainManagerOptions chain;
+  SpecManagerOptions spec;
   // Ablation switch: skip the explicit prefetch pass (speculative execution
   // itself still warms whatever it touches).
   bool enable_prefetch = true;
@@ -82,41 +99,48 @@ class Node {
 
   // Undoes the most recent ExecuteBlock: the chain head returns to the
   // previous root and the orphaned block's transactions re-enter the pending
-  // pool. Supports single-depth reorgs (temporary one-block forks).
+  // pool. Call repeatedly for deeper reorgs, up to
+  // NodeOptions::chain.max_reorg_depth blocks of retained undo history.
   void RollbackHead();
 
-  const Hash& head_root() const { return head_root_; }
-  const BlockContext& head() const { return head_; }
-  uint64_t pool_size() const { return static_cast<uint64_t>(pool_.size()); }
+  const Hash& head_root() const { return chain_.head_root(); }
+  const BlockContext& head() const { return chain_.head(); }
+  uint64_t pool_size() const { return static_cast<uint64_t>(mempool_.size()); }
+
+  // Subsystem introspection (pool pressure, speculation cache, reorg window).
+  MempoolStats mempool_stats() const { return mempool_.stats(); }
+  SpecCacheStats spec_cache_stats() const { return spec_.stats(); }
+  const ChainManager& chain() const { return chain_; }
+  size_t reorg_window() const { return chain_.reorg_window(); }
+  bool CanRollback() const { return chain_.CanRollback(); }
 
   // Aggregate off-critical-path accounting (§5.6).
   // CPU cost: serial sum over all jobs of thread CPU time plus deferred
   // cold-read latency — the store-miss stalls the single-threaded pipeline
   // used to spin through are included via the model, not a wall clock.
-  double total_speculation_seconds() const { return total_speculation_seconds_; }
+  double total_speculation_seconds() const { return spec_.total_speculation_seconds(); }
   // Modeled wall cost: per pipeline round, the max over workers of their busy
   // time (== the CPU sum at 1 worker). This is what the speculation phase
   // costs in wall-clock when idle cores absorb the fan-out.
-  double total_speculation_wall_seconds() const { return total_speculation_wall_seconds_; }
-  double total_speculated_exec_seconds() const { return total_speculated_exec_seconds_; }
-  uint64_t futures_speculated() const { return futures_speculated_; }
-  uint64_t synthesis_failures() const { return synthesis_failures_; }
+  double total_speculation_wall_seconds() const {
+    return spec_.total_speculation_wall_seconds();
+  }
+  double total_speculated_exec_seconds() const {
+    return spec_.total_speculated_exec_seconds();
+  }
+  uint64_t futures_speculated() const { return spec_.futures_speculated(); }
+  uint64_t synthesis_failures() const { return spec_.synthesis_failures(); }
   // Last-synthesis stats stream for Figure 15 / §5.5 aggregation.
-  const std::vector<SynthesisStats>& synthesis_stats() const { return synthesis_stats_; }
-  const std::vector<ApStats>& ap_stats() const { return ap_stats_; }
+  const std::vector<SynthesisStats>& synthesis_stats() const {
+    return spec_.synthesis_stats();
+  }
+  const std::vector<ApStats>& ap_stats() const { return spec_.ap_stats(); }
 
-  // Per-executed-transaction speculation summary (§5.5: futures pre-executed,
-  // distinct AP paths, shortcuts).
-  struct SpecSummary {
-    uint64_t tx_id = 0;
-    size_t futures = 0;
-    size_t paths = 0;
-    size_t shortcut_nodes = 0;
-    size_t memo_entries = 0;
-    size_t instr_nodes = 0;
-  };
+  // Per-executed-transaction speculation summary (§5.5), kept under its
+  // historical nested name for existing call sites.
+  using SpecSummary = ::frn::SpecSummary;
   const std::vector<SpecSummary>& executed_speculations() const {
-    return executed_speculations_;
+    return spec_.executed_speculations();
   }
 
   // Parallel speculation engine introspection.
@@ -126,8 +150,8 @@ class Node {
   }
 
   // Machine-readable aggregate view: this node's accounting (speculation
-  // cost, per-worker attribution, store counters) plus a snapshot of the
-  // process-wide metrics registry — the --stats-out payload.
+  // cost, per-worker attribution, store counters, subsystem occupancy) plus a
+  // snapshot of the process-wide metrics registry — the --stats-out payload.
   JsonValue StatsJson() const;
   bool WriteStatsJson(const std::string& path) const;
 
@@ -136,36 +160,15 @@ class Node {
   KvStore store_;
   Mpt trie_;
   SharedStateCache shared_cache_;
-  std::unique_ptr<StateDb> state_;
-  Hash head_root_;
-  BlockContext head_;
   Rng rng_;
 
   MultiFuturePredictor predictor_;
   SpecPool spec_pool_;
   Prefetcher prefetcher_;
 
-  std::vector<PendingTx> pool_;
-  std::unordered_map<uint64_t, TxSpeculation> speculations_;
-  std::unordered_map<uint64_t, double> heard_at_;
-  std::unordered_map<Address, uint64_t, AddressHasher> chain_nonces_;
-  // Single-depth reorg support: the state before the last executed block.
-  bool has_parent_ = false;
-  Hash parent_root_;
-  BlockContext parent_header_;
-  std::unordered_map<Address, uint64_t, AddressHasher> parent_chain_nonces_;
-  std::vector<Transaction> last_block_txs_;
-  // Transactions already speculated against the current head root.
-  std::unordered_map<uint64_t, Hash> speculated_at_root_;
-
-  double total_speculation_seconds_ = 0;
-  double total_speculation_wall_seconds_ = 0;
-  double total_speculated_exec_seconds_ = 0;
-  uint64_t futures_speculated_ = 0;
-  uint64_t synthesis_failures_ = 0;
-  std::vector<SynthesisStats> synthesis_stats_;
-  std::vector<ApStats> ap_stats_;
-  std::vector<SpecSummary> executed_speculations_;
+  Mempool mempool_;
+  SpeculationManager spec_;
+  ChainManager chain_;
 };
 
 }  // namespace frn

@@ -9,7 +9,7 @@ namespace {
 // Selects a nonce-valid, gas-price-ordered prefix of the pool, mimicking how
 // miners pack blocks (higher fee first, per-sender nonce chains respected).
 std::vector<const PendingTx*> SimulatePacking(
-    const std::vector<PendingTx>& pool,
+    const MempoolView& pool,
     const std::unordered_map<Address, uint64_t, AddressHasher>& chain_nonces,
     uint64_t gas_budget, size_t max_txs) {
   std::vector<const PendingTx*> sorted;
@@ -53,7 +53,7 @@ std::vector<const PendingTx*> SimulatePacking(
 }  // namespace
 
 std::vector<TxPrediction> MultiFuturePredictor::PredictNextBlock(
-    const std::vector<PendingTx>& pool, const BlockContext& head,
+    const MempoolView& pool, const BlockContext& head,
     const std::unordered_map<Address, uint64_t, AddressHasher>& chain_nonces,
     uint64_t block_gas_limit, Rng* rng) const {
   uint64_t budget = block_gas_limit * options_.capacity_percent / 100;

@@ -11,14 +11,10 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/forerunner/mempool.h"
 #include "src/forerunner/speculator.h"
 
 namespace frn {
-
-struct PendingTx {
-  Transaction tx;
-  double heard_at = 0;
-};
 
 struct PredictorOptions {
   // How many future contexts to construct per transaction.
@@ -46,7 +42,7 @@ class MultiFuturePredictor {
   // future contexts for every predicted transaction. `chain_nonces` maps a
   // sender to its next on-chain nonce (for nonce-chain validity).
   std::vector<TxPrediction> PredictNextBlock(
-      const std::vector<PendingTx>& pool, const BlockContext& head,
+      const MempoolView& pool, const BlockContext& head,
       const std::unordered_map<Address, uint64_t, AddressHasher>& chain_nonces,
       uint64_t block_gas_limit, Rng* rng) const;
 

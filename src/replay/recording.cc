@@ -268,6 +268,8 @@ SimReport ReplayRecording(const Recording& recording, const std::vector<Node*>& 
     report.nodes[n].synthesis_stats = nodes[n]->synthesis_stats();
     report.nodes[n].ap_stats = nodes[n]->ap_stats();
     report.nodes[n].executed_speculations = nodes[n]->executed_speculations();
+    report.nodes[n].mempool = nodes[n]->mempool_stats();
+    report.nodes[n].spec_cache = nodes[n]->spec_cache_stats();
   }
   return report;
 }

@@ -183,6 +183,40 @@ TEST(DiceIntegrationTest, TemporaryForksExecuteAndReorgConsistently) {
   EXPECT_EQ(baseline.head_root(), forerunner.head_root());
 }
 
+TEST(DiceIntegrationTest, DeepForkChurnReorgsConsistently) {
+  ScenarioConfig cfg = SmallScenario(0x0F0);
+  cfg.duration = 60;
+  cfg.dice.fork_rate = 0.5;
+  cfg.dice.fork_resolution_delay = 3.0;
+  cfg.dice.max_fork_depth = 3;  // losing branches up to three blocks deep
+  Workload workload(cfg);
+  DiceSimulator sim(cfg.dice, workload.GenerateTraffic());
+  auto genesis = [&](StateDb* state) { workload.InitGenesis(state); };
+  Node baseline(MakeNodeOptions(cfg, ExecStrategy::kBaseline, sim.miners()), genesis);
+  Node forerunner(MakeNodeOptions(cfg, ExecStrategy::kForerunner, sim.miners()), genesis);
+  SimReport report = sim.Run({&baseline, &forerunner}, cfg.name);
+  EXPECT_TRUE(report.roots_consistent);  // includes every fork-branch block
+  EXPECT_GT(report.fork_blocks, 0u);
+  EXPECT_GE(report.max_fork_depth_seen, 2u);  // churn actually went deep
+  EXPECT_EQ(baseline.head_root(), forerunner.head_root());
+  // Deep reorgs returned every orphan to the pool exactly once: fork-block
+  // records exist, and the main chain still accounts for all packed txs.
+  size_t fork_records = 0;
+  for (const TxExecRecord& r : report.nodes[0].records) {
+    fork_records += r.on_fork ? 1 : 0;
+  }
+  EXPECT_GT(fork_records, 0u);
+  EXPECT_EQ(report.nodes[0].records.size() - fork_records, report.txs_packed);
+
+  // No-fork control: replaying just the winning chain on a fresh baseline
+  // node reproduces the exact same final root, so the churn left no residue.
+  Node control(MakeNodeOptions(cfg, ExecStrategy::kBaseline, sim.miners()), genesis);
+  for (const Block& block : report.chain) {
+    control.ExecuteBlock(block, 1e9);
+  }
+  EXPECT_EQ(control.head_root(), baseline.head_root());
+}
+
 TEST(DiceIntegrationTest, SimulationIsDeterministic) {
   // Two independent runs with the same seeds must produce identical chains
   // and identical final state roots (wall-clock timings excluded).

@@ -89,7 +89,7 @@ TEST(PredictorTest, PacksByPriceWithNonceChains) {
   Rng rng(7);
   BlockContext head;
   head.timestamp = 1000;
-  auto predictions = predictor.PredictNextBlock(pool, head, nonces, 15'000'000, &rng);
+  auto predictions = predictor.PredictNextBlock(MempoolView(&pool), head, nonces, 15'000'000, &rng);
   ASSERT_EQ(predictions.size(), 2u);
   EXPECT_EQ(predictions[0].tx.id, 1u);  // alice nonce 0 (price is irrelevant: chain order)
   EXPECT_EQ(predictions[1].tx.id, 3u);
@@ -117,7 +117,7 @@ TEST(PredictorTest, InterdependentTxsGetOrderingVariants) {
   std::unordered_map<Address, uint64_t, AddressHasher> nonces;
   Rng rng(7);
   BlockContext head;
-  auto predictions = predictor.PredictNextBlock(pool, head, nonces, 15'000'000, &rng);
+  auto predictions = predictor.PredictNextBlock(MempoolView(&pool), head, nonces, 15'000'000, &rng);
   ASSERT_EQ(predictions.size(), 3u);
   // The lowest-priority tx sees the other two ahead of it in some future and
   // none ahead in another.

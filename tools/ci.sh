@@ -25,6 +25,9 @@ cmake -S "${repo_root}" -B "${repo_root}/build" >/dev/null
 cmake --build "${repo_root}/build" -j"${jobs}"
 (cd "${repo_root}/build" && ctest --output-on-failure -j"${jobs}")
 
+echo "=== CI stage 1b: reorg stress gate ==="
+"${repo_root}/build/bench/bench_reorg_stress" --json "${repo_root}/build/BENCH_reorg_stress.json"
+
 if [[ "${skip_asan}" == 0 ]]; then
   echo "=== CI stage 2: AddressSanitizer build + tests ==="
   cmake -S "${repo_root}" -B "${repo_root}/build-asan" -DFRN_SANITIZE=address >/dev/null

@@ -3,8 +3,8 @@
 // Usage:
 //   forerunner_sim run [--scenario L1] [--strategy forerunner|baseline|
 //                       perfect|perfect-multi] [--duration SECONDS]
-//                      [--record FILE] [--trace-out FILE] [--stats-out FILE]
-//                      [--trace-sample RATE]
+//                      [--fork-depth N] [--record FILE] [--trace-out FILE]
+//                      [--stats-out FILE] [--trace-sample RATE]
 //   forerunner_sim replay --from FILE [--strategy ...] [--trace-out FILE]
 //                         [--stats-out FILE]
 //   forerunner_sim scenarios
@@ -16,6 +16,7 @@
 // JSON (load it in chrome://tracing or feed it to tools/trace_summary.py);
 // --stats-out writes the strategy node's stats plus the global metrics
 // registry snapshot.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -58,8 +59,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  forerunner_sim run [--scenario L1] [--strategy forerunner] "
-               "[--duration SEC] [--record FILE] [--trace-out FILE] "
-               "[--stats-out FILE] [--trace-sample RATE]\n"
+               "[--duration SEC] [--fork-depth N] [--record FILE] "
+               "[--trace-out FILE] [--stats-out FILE] [--trace-sample RATE]\n"
                "  forerunner_sim replay --from FILE [--strategy forerunner] "
                "[--trace-out FILE] [--stats-out FILE]\n"
                "  forerunner_sim scenarios\n");
@@ -106,6 +107,7 @@ int main(int argc, char** argv) {
   std::string stats_out;
   double trace_sample = 1.0;
   double duration = 0;
+  size_t fork_depth = 0;
   for (int i = 2; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     std::string value = argv[i + 1];
@@ -115,6 +117,8 @@ int main(int argc, char** argv) {
       strategy_name = value;
     } else if (flag == "--duration") {
       duration = std::stod(value);
+    } else if (flag == "--fork-depth") {
+      fork_depth = static_cast<size_t>(std::stoul(value));
     } else if (flag == "--record") {
       record_path = value;
     } else if (flag == "--from") {
@@ -153,6 +157,9 @@ int main(int argc, char** argv) {
     if (duration > 0) {
       cfg.duration = duration;
     }
+    if (fork_depth > 0) {
+      cfg.dice.max_fork_depth = fork_depth;
+    }
     std::printf("running scenario %s with strategy '%s'...\n", cfg.name.c_str(),
                 StrategyName(strategy));
     Workload workload(cfg);
@@ -165,6 +172,9 @@ int main(int argc, char** argv) {
       options.store.cold_read_latency = cfg.cold_read_latency;
       options.predictor.miners = MinerCandidates(sim.miners());
       options.predictor.mean_block_interval = cfg.dice.mean_block_interval;
+      // Deep-fork runs need a matching undo window to unwind the losing branch.
+      options.chain.max_reorg_depth =
+          std::max(options.chain.max_reorg_depth, cfg.dice.max_fork_depth);
       return options;
     };
     Node baseline(make_options(ExecStrategy::kBaseline), genesis);

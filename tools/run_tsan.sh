@@ -2,9 +2,11 @@
 # Builds the repo with ThreadSanitizer (-DFRN_SANITIZE=thread) into build-tsan/
 # and runs the concurrency-sensitive tests: the SharedStateCache / KvStore
 # stress test, the parallel speculation engine determinism test, the full
-# forerunner node test, and the observability tests (sharded metrics registry
-# under concurrent writers, trace capture during a threaded scenario). Pass
-# --all to run the entire ctest suite under TSan instead (slow).
+# forerunner node test, the node-subsystem tests (mempool admission and the
+# chain manager's multi-depth reorgs around the worker pool), and the
+# observability tests (sharded metrics registry under concurrent writers,
+# trace capture during a threaded scenario). Pass --all to run the entire
+# ctest suite under TSan instead (slow).
 #
 # Usage:  tools/run_tsan.sh [--all]
 set -euo pipefail
@@ -14,6 +16,7 @@ build_dir="${repo_root}/build-tsan"
 
 cmake -S "${repo_root}" -B "${build_dir}" -DFRN_SANITIZE=thread >/dev/null
 tsan_tests=(concurrency_stress_test spec_pool_test forerunner_test
+            mempool_test chain_manager_test
             obs_registry_test trace_format_test)
 
 cmake --build "${build_dir}" -j"$(nproc)" --target "${tsan_tests[@]}"
