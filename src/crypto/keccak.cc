@@ -68,9 +68,12 @@ Hash Keccak256(const uint8_t* data, size_t len) {
     data += kRateBytes;
     len -= kRateBytes;
   }
-  // Final partial block with 0x01...0x80 padding.
+  // Final partial block with 0x01...0x80 padding. Empty input reaches here
+  // with data == nullptr; passing that to memcpy is UB even for len == 0.
   uint8_t block[kRateBytes] = {0};
-  std::memcpy(block, data, len);
+  if (len > 0) {
+    std::memcpy(block, data, len);
+  }
   block[len] = 0x01;
   block[kRateBytes - 1] |= 0x80;
   for (size_t i = 0; i < kRateBytes / 8; ++i) {

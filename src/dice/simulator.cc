@@ -392,6 +392,9 @@ SimReport DiceSimulator::Run(const std::vector<Node*>& nodes,
     report.nodes[n].executed_speculations = nodes[n]->executed_speculations();
     report.nodes[n].mempool = nodes[n]->mempool_stats();
     report.nodes[n].spec_cache = nodes[n]->spec_cache_stats();
+    report.nodes[n].chain_state = nodes[n]->chain_state_stats();
+    report.nodes[n].flat = nodes[n]->flat_stats();
+    report.nodes[n].flat_enabled = nodes[n]->flat_enabled();
   }
   return report;
 }

@@ -86,6 +86,11 @@ struct NodeRunStats {
   std::vector<Node::SpecSummary> executed_speculations;
   MempoolStats mempool;
   SpecCacheStats spec_cache;
+  // Critical-path state-read attribution (per node — the process-global
+  // registry mixes nodes) and the flat snapshot layer's structural counters.
+  StateDbStats chain_state;
+  FlatStateStats flat;
+  bool flat_enabled = false;
 };
 
 struct SimReport {

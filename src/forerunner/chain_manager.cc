@@ -3,12 +3,20 @@
 namespace frn {
 
 ChainManager::ChainManager(Mpt* trie, SharedStateCache* shared_cache,
-                           const ChainManagerOptions& options)
-    : options_(options), trie_(trie), shared_cache_(shared_cache) {}
+                           const ChainManagerOptions& options, FlatState* flat)
+    : options_(options),
+      trie_(trie),
+      shared_cache_(shared_cache),
+      flat_(flat),
+      commit_pool_(options.commit_workers) {}
 
 void ChainManager::ReopenState() {
+  if (state_ != nullptr) {
+    retired_state_stats_ += state_->stats();
+  }
   shared_cache_->Reset(head_root_);
-  state_ = std::make_unique<StateDb>(trie_, head_root_, shared_cache_);
+  state_ = std::make_unique<StateDb>(trie_, head_root_, shared_cache_, flat_,
+                                     &commit_pool_);
 }
 
 void ChainManager::SetGenesis(const Hash& root) {
@@ -18,8 +26,15 @@ void ChainManager::SetGenesis(const Hash& root) {
   head_first_seen_ = 0;
   chain_nonces_.clear();
   undo_.clear();
-  state_ = std::make_unique<StateDb>(trie_, head_root_, shared_cache_);
-  shared_cache_->Reset(head_root_);
+  ReopenState();
+}
+
+StateDbStats ChainManager::cumulative_state_stats() const {
+  StateDbStats stats = retired_state_stats_;
+  if (state_ != nullptr) {
+    stats += state_->stats();
+  }
+  return stats;
 }
 
 void ChainManager::BeginBlock(const Block& block, double first_seen) {
@@ -62,6 +77,14 @@ std::vector<OrphanedTx> ChainManager::RollbackHead() {
   head_ = record.parent_header;
   head_first_seen_ = record.parent_first_seen;
   chain_nonces_ = std::move(record.parent_nonces);
+  if (flat_ != nullptr) {
+    // One committed block = one diff layer, so one pop repositions the flat
+    // view at the parent root. The undo window and the layer bound share
+    // max_reorg_depth, so a poppable block always has its layer; if the
+    // views ever disagreed anyway, Covers() fails and reads fall back to the
+    // trie until the layer invalidates itself at the next commit.
+    flat_->PopLayer();
+  }
   ReopenState();
   ++rollbacks_;
   return std::move(record.orphans);

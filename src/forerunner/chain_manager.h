@@ -20,6 +20,8 @@
 
 #include "src/dice/block.h"
 #include "src/forerunner/spec_manager.h"
+#include "src/state/commit_pool.h"
+#include "src/state/flat_state.h"
 #include "src/state/statedb.h"
 
 namespace frn {
@@ -30,6 +32,10 @@ struct ChainManagerOptions {
   // depth >= 1, so the default deepens the pre-decomposition single-depth
   // support without changing its behaviour.
   size_t max_reorg_depth = 4;
+  // Worker threads for StateDb::Commit's parallel storage-subtrie folds.
+  // 1 (the default) runs the folds inline on the coordinator in the exact
+  // serial operation order; any count produces bit-identical roots.
+  size_t commit_workers = 1;
 };
 
 // A transaction orphaned by a rollback: what the mempool and speculation
@@ -43,8 +49,11 @@ struct OrphanedTx {
 
 class ChainManager {
  public:
+  // `flat` may be null; when present, every committed block pushes a diff
+  // layer onto it and every rollback pops one, keeping the flat snapshot
+  // positioned at the head root.
   ChainManager(Mpt* trie, SharedStateCache* shared_cache,
-               const ChainManagerOptions& options);
+               const ChainManagerOptions& options, FlatState* flat = nullptr);
 
   // Installs the genesis root as the head (block number 0) and opens the
   // execution state view.
@@ -76,7 +85,14 @@ class ChainManager {
   bool CanRollback() const { return !undo_.empty(); }
   size_t reorg_window() const { return undo_.size(); }
   size_t max_reorg_depth() const { return options_.max_reorg_depth; }
+  size_t commit_workers() const { return commit_pool_.workers(); }
   uint64_t rollbacks() const { return rollbacks_; }
+
+  // Critical-path StateDb read attribution, accumulated across the per-block
+  // state views this manager has opened (including the live one). This is the
+  // per-node view the process-global metrics registry cannot give when
+  // several nodes share a process.
+  StateDbStats cumulative_state_stats() const;
 
   // Undoes the most recent block: head root/header/nonces return to the
   // parent, and the undone block's orphans are handed back for re-injection.
@@ -108,7 +124,11 @@ class ChainManager {
   ChainManagerOptions options_;
   Mpt* trie_;
   SharedStateCache* shared_cache_;
+  FlatState* flat_;
+  // The pool outlives the per-block StateDb instances that borrow it.
+  CommitPool commit_pool_;
   std::unique_ptr<StateDb> state_;
+  StateDbStats retired_state_stats_;  // stats of already-replaced state views
   Hash head_root_;
   BlockContext head_;
   double head_first_seen_ = 0;

@@ -27,14 +27,20 @@ Node::Node(const NodeOptions& options, const std::function<void(StateDb*)>& gene
     : options_(options),
       store_(options.store),
       trie_(&store_),
+      flat_(options.flat.enabled
+                ? std::make_unique<FlatState>(options.chain.max_reorg_depth)
+                : nullptr),
       rng_(options.rng_seed),
       predictor_(options.predictor),
-      spec_pool_(&trie_, options.speculator, ResolveSpecWorkers(options)),
-      prefetcher_(&trie_, &shared_cache_),
+      spec_pool_(&trie_, options.speculator, ResolveSpecWorkers(options),
+                 /*physical_threads=*/0, flat_.get()),
+      prefetcher_(&trie_, &shared_cache_, flat_.get()),
       mempool_(options.mempool),
       spec_(options.spec),
-      chain_(&trie_, &shared_cache_, options.chain) {
-  StateDb genesis_state(&trie_, Mpt::EmptyRoot());
+      chain_(&trie_, &shared_cache_, options.chain, flat_.get()) {
+  // The genesis commit populates the flat base layer: empty maps are complete
+  // for the empty trie, so coverage is authoritative from block 0 on.
+  StateDb genesis_state(&trie_, Mpt::EmptyRoot(), nullptr, flat_.get());
   genesis(&genesis_state);
   chain_.SetGenesis(genesis_state.Commit());
 }
@@ -294,8 +300,29 @@ JsonValue Node::StatsJson() const {
   JsonValue chain_json = JsonValue::Object();
   chain_json.Set("reorg_window", static_cast<uint64_t>(chain_.reorg_window()));
   chain_json.Set("max_reorg_depth", static_cast<uint64_t>(chain_.max_reorg_depth()));
+  chain_json.Set("commit_workers", static_cast<uint64_t>(chain_.commit_workers()));
   chain_json.Set("rollbacks", chain_.rollbacks());
+  StateDbStats state = chain_state_stats();
+  chain_json.Set("account_trie_reads", state.account_trie_reads);
+  chain_json.Set("storage_trie_reads", state.storage_trie_reads);
+  chain_json.Set("shared_cache_hits", state.shared_cache_hits);
+  chain_json.Set("flat_hits", state.flat_hits);
+  chain_json.Set("flat_misses", state.flat_misses);
   node.Set("chain", std::move(chain_json));
+
+  JsonValue flat_json = JsonValue::Object();
+  flat_json.Set("enabled", flat_ != nullptr);
+  if (flat_ != nullptr) {
+    FlatStateStats fs = flat_->stats();
+    flat_json.Set("applies", fs.applies);
+    flat_json.Set("pops", fs.pops);
+    flat_json.Set("dropped_layers", fs.dropped_layers);
+    flat_json.Set("invalidations", fs.invalidations);
+    flat_json.Set("layers", static_cast<uint64_t>(fs.layers));
+    flat_json.Set("accounts", static_cast<uint64_t>(fs.accounts));
+    flat_json.Set("slots", static_cast<uint64_t>(fs.slots));
+  }
+  node.Set("flat", std::move(flat_json));
 
   JsonValue doc = JsonValue::Object();
   doc.Set("node", std::move(node));

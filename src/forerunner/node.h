@@ -52,11 +52,21 @@ struct BlockExecReport {
   double total_seconds = 0;
 };
 
+// The flat snapshot layer (src/state/flat_state.h): O(1) committed-head
+// reads for the critical path, the speculation workers and the prefetcher.
+struct FlatStateOptions {
+  // Off by default: the flat-off node is the configuration every bench was
+  // validated against, and bench_flat_state gates that enabling it changes
+  // no state root and no execution outcome — only where reads are served.
+  bool enabled = false;
+};
+
 struct NodeOptions {
   ExecStrategy strategy = ExecStrategy::kForerunner;
   KvStore::Options store;
   PredictorOptions predictor;
   Speculator::Options speculator;
+  FlatStateOptions flat;
   // Subsystem knobs; every default reproduces the pre-decomposition node
   // exactly (unbounded pool, latest-root-only speculation, nothing retained
   // across reorgs, and a 4-deep undo window whose extra depth is pure
@@ -110,6 +120,12 @@ class Node {
   // Subsystem introspection (pool pressure, speculation cache, reorg window).
   MempoolStats mempool_stats() const { return mempool_.stats(); }
   SpecCacheStats spec_cache_stats() const { return spec_.stats(); }
+  // Critical-path StateDb read attribution (flat hits vs trie walks).
+  StateDbStats chain_state_stats() const { return chain_.cumulative_state_stats(); }
+  FlatStateStats flat_stats() const {
+    return flat_ != nullptr ? flat_->stats() : FlatStateStats{};
+  }
+  bool flat_enabled() const { return flat_ != nullptr; }
   const ChainManager& chain() const { return chain_; }
   size_t reorg_window() const { return chain_.reorg_window(); }
   bool CanRollback() const { return chain_.CanRollback(); }
@@ -160,6 +176,9 @@ class Node {
   KvStore store_;
   Mpt trie_;
   SharedStateCache shared_cache_;
+  // Null unless options_.flat.enabled; shared (read-side) by the chain
+  // manager's state views, the speculation workers and the prefetcher.
+  std::unique_ptr<FlatState> flat_;
   Rng rng_;
 
   MultiFuturePredictor predictor_;

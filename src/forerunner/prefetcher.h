@@ -11,11 +11,16 @@ namespace frn {
 
 class Prefetcher {
  public:
-  Prefetcher(Mpt* trie, SharedStateCache* cache) : trie_(trie), cache_(cache) {}
+  // `flat` may be null. When the flat snapshot layer covers `root`, account
+  // and slot reads are already O(1) and the trie walks are skipped — only
+  // code blobs (which live behind the store, not in the flat maps) still get
+  // heated.
+  Prefetcher(Mpt* trie, SharedStateCache* cache, FlatState* flat = nullptr)
+      : trie_(trie), cache_(cache), flat_(flat) {}
 
   // Warms every location in `reads` for the state at `root`.
   void Prefetch(const Hash& root, const ReadSet& reads) {
-    StateDb db(trie_, root, cache_);
+    StateDb db(trie_, root, cache_, flat_);
     for (const Address& account : reads.accounts) {
       db.PrefetchAccount(account);
     }
@@ -27,6 +32,7 @@ class Prefetcher {
  private:
   Mpt* trie_;
   SharedStateCache* cache_;
+  FlatState* flat_ = nullptr;
 };
 
 }  // namespace frn

@@ -21,9 +21,10 @@ size_t ResolvePhysical(size_t workers, size_t physical_threads) {
 }  // namespace
 
 SpecPool::SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers,
-                   size_t physical_threads)
+                   size_t physical_threads, FlatState* flat)
     : trie_(trie),
       options_(options),
+      flat_(flat),
       workers_(std::max<size_t>(1, workers)),
       physical_(ResolvePhysical(workers_, physical_threads)),
       worker_stats_(workers_) {
@@ -103,7 +104,7 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
     // executor threads exist, so the batch pointers are coordinator-private.
     jobs_ = &jobs;
     results_ = &results;
-    Speculator speculator(trie_, options_);
+    Speculator speculator(trie_, options_, flat_);
     for (size_t j = 0; j < jobs.size(); ++j) {
       ExecuteJob(&speculator, j);
     }
@@ -164,7 +165,7 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
 void SpecPool::WorkerLoop(size_t thread_index) {
   // Each executor owns its Speculator: no mutable state is shared between
   // executors, only the (reader-safe) trie/store underneath.
-  Speculator speculator(trie_, options_);
+  Speculator speculator(trie_, options_, flat_);
   size_t seen_batch = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

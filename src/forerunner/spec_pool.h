@@ -66,9 +66,11 @@ class SpecPool {
   // physical thread no threads are spawned and RunBatch executes jobs inline
   // in submission order — the original single-threaded pipeline's exact
   // operation order (job costs use the same modeled CPU + deferred-latency
-  // accounting as the threaded path).
+  // accounting as the threaded path). `flat` (may be null) lets each
+  // executor's scratch state views read the committed head O(1) from the
+  // flat snapshot layer; workers never write to it.
   SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers,
-           size_t physical_threads = 0);
+           size_t physical_threads = 0, FlatState* flat = nullptr);
   ~SpecPool();
   SpecPool(const SpecPool&) = delete;
   SpecPool& operator=(const SpecPool&) = delete;
@@ -96,6 +98,7 @@ class SpecPool {
 
   Mpt* trie_;
   Speculator::Options options_;
+  FlatState* flat_;
   size_t workers_;   // modeled lanes
   size_t physical_;  // executor threads actually running jobs
 

@@ -1,0 +1,163 @@
+#include "src/state/flat_state.h"
+
+#include <mutex>
+
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace frn {
+
+FlatState::FlatState(size_t max_layers)
+    : max_layers_(std::max<size_t>(1, max_layers)), root_(Mpt::EmptyRoot()) {}
+
+Hash FlatState::root() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return root_;
+}
+
+bool FlatState::Covers(const Hash& root) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return valid_ && root == root_;
+}
+
+std::optional<Account> FlatState::GetAccount(const Address& addr) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+U256 FlatState::GetStorage(const Address& addr, const U256& key) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = storage_.find(StateSlotKey{addr, key});
+  if (it == storage_.end()) {
+    return U256{};
+  }
+  return it->second;
+}
+
+void FlatState::InvalidateLocked() {
+  valid_ = false;
+  accounts_.clear();
+  storage_.clear();
+  layers_.clear();
+  ++stats_.invalidations;
+  static Counter* invalidations =
+      MetricsRegistry::Global().GetCounter("flat.invalidations");
+  invalidations->Add();
+}
+
+void FlatState::Apply(const Hash& parent_root, const Hash& new_root,
+                      const std::vector<std::pair<Address, Account>>& accounts,
+                      const std::vector<std::pair<StateSlotKey, U256>>& slots) {
+  static SecondsCounter* apply_seconds =
+      MetricsRegistry::Global().GetSeconds("flat.apply_seconds");
+  static Counter* applies = MetricsRegistry::Global().GetCounter("flat.applies");
+  static Gauge* diff_layers = MetricsRegistry::Global().GetGauge("flat.diff_layers");
+  TraceSpan span(&TraceCollector::Global(), "state", "flat.apply", apply_seconds);
+
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!valid_) {
+    return;
+  }
+  if (parent_root != root_) {
+    // The caller committed on top of a view we do not hold (deeper rollback
+    // than the retained layers, or misuse). Serving diffs from here would be
+    // silently wrong; go dark instead — readers fall back to the trie.
+    InvalidateLocked();
+    return;
+  }
+  DiffLayer layer;
+  layer.parent_root = root_;
+  layer.accounts.reserve(accounts.size());
+  for (const auto& [addr, account] : accounts) {
+    auto it = accounts_.find(addr);
+    if (it == accounts_.end()) {
+      layer.accounts.emplace_back(addr, std::nullopt);
+      accounts_.emplace(addr, account);
+    } else {
+      layer.accounts.emplace_back(addr, it->second);
+      it->second = account;
+    }
+  }
+  layer.slots.reserve(slots.size());
+  for (const auto& [slot, value] : slots) {
+    auto it = storage_.find(slot);
+    if (it == storage_.end()) {
+      layer.slots.emplace_back(slot, std::nullopt);
+      if (!value.IsZero()) {
+        storage_.emplace(slot, value);
+      }
+    } else {
+      layer.slots.emplace_back(slot, it->second);
+      if (value.IsZero()) {
+        storage_.erase(it);  // zero write == deletion, matching the trie
+      } else {
+        it->second = value;
+      }
+    }
+  }
+  root_ = new_root;
+  layers_.push_back(std::move(layer));
+  while (layers_.size() > max_layers_) {
+    layers_.pop_front();  // rollback depth shrinks; coverage is unaffected
+    ++stats_.dropped_layers;
+  }
+  ++stats_.applies;
+  stats_.layers = layers_.size();
+  stats_.accounts = accounts_.size();
+  stats_.slots = storage_.size();
+  applies->Add();
+  diff_layers->Set(static_cast<double>(layers_.size()));
+  span.AddArg(TraceArg::U64("accounts", accounts.size()));
+  span.AddArg(TraceArg::U64("slots", slots.size()));
+}
+
+bool FlatState::PopLayer() {
+  static Counter* pops = MetricsRegistry::Global().GetCounter("flat.pops");
+  static Gauge* diff_layers = MetricsRegistry::Global().GetGauge("flat.diff_layers");
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!valid_ || layers_.empty()) {
+    return false;
+  }
+  DiffLayer layer = std::move(layers_.back());
+  layers_.pop_back();
+  // Undo in reverse Apply order so repeated writes to one key within the
+  // block restore the oldest (pre-block) value last.
+  for (auto it = layer.accounts.rbegin(); it != layer.accounts.rend(); ++it) {
+    if (it->second.has_value()) {
+      accounts_[it->first] = *it->second;
+    } else {
+      accounts_.erase(it->first);
+    }
+  }
+  for (auto it = layer.slots.rbegin(); it != layer.slots.rend(); ++it) {
+    if (it->second.has_value() && !it->second->IsZero()) {
+      storage_[it->first] = *it->second;
+    } else {
+      storage_.erase(it->first);
+    }
+  }
+  root_ = layer.parent_root;
+  ++stats_.pops;
+  stats_.layers = layers_.size();
+  stats_.accounts = accounts_.size();
+  stats_.slots = storage_.size();
+  pops->Add();
+  diff_layers->Set(static_cast<double>(layers_.size()));
+  return true;
+}
+
+size_t FlatState::layers() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return layers_.size();
+}
+
+FlatStateStats FlatState::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace frn

@@ -1,0 +1,102 @@
+// Flat snapshot layer over the Merkle-Patricia world state (the geth
+// "snapshot" idea; see also the forkless-database line of work): an O(1)
+// account/slot map that is always positioned at one root — the committed
+// head — and is maintained incrementally by StateDb::Commit. Reads at the
+// covered root never walk the trie: the maps are complete from genesis, so a
+// lookup miss is an authoritative "does not exist", not a cache miss.
+//
+// Reorg support: every Commit pushes one reverse-diff layer (the overwritten
+// values), bounded at `max_layers` — sized to the chain manager's undo window.
+// Rolling back a block pops one layer, repositioning the flat view at the
+// parent root. Dropping the oldest layer only costs rollback depth, never
+// correctness: a view the flat layer cannot represent simply fails Covers()
+// and readers fall back to the trie.
+//
+// Safety valve: Apply() verifies the parent root it is diffing against. If a
+// caller ever commits on top of a root the flat view does not hold (a deeper
+// rollback than the retained layers, or API misuse), the layer invalidates
+// itself permanently instead of serving wrong data.
+//
+// Thread safety: readers (speculation workers at the committed head) take a
+// shared lock; Apply/Pop are single-writer coordinator operations under an
+// exclusive lock.
+#ifndef SRC_STATE_FLAT_STATE_H_
+#define SRC_STATE_FLAT_STATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/state/statedb.h"
+
+namespace frn {
+
+struct FlatStateStats {
+  uint64_t applies = 0;          // diff layers pushed (one per Commit)
+  uint64_t pops = 0;             // diff layers popped (one per rollback)
+  uint64_t dropped_layers = 0;   // fell off the max_layers window
+  uint64_t invalidations = 0;    // parent-root mismatch tripped the safety valve
+  size_t layers = 0;             // currently poppable diff layers
+  size_t accounts = 0;           // flat map occupancy
+  size_t slots = 0;
+};
+
+class FlatState {
+ public:
+  // A fresh layer holds the empty world state: empty maps are complete for
+  // the empty trie, so coverage is authoritative from the very first (genesis)
+  // commit. `max_layers` bounds the poppable diff history; size it to the
+  // chain manager's max_reorg_depth.
+  explicit FlatState(size_t max_layers);
+
+  Hash root() const;
+  // True iff the flat maps authoritatively describe the state at `root`.
+  bool Covers(const Hash& root) const;
+
+  // O(1) reads at the covered root. Callers must check Covers(root) first;
+  // under coverage, nullopt / zero are definitive absence, not a miss.
+  std::optional<Account> GetAccount(const Address& addr) const;
+  U256 GetStorage(const Address& addr, const U256& key) const;
+
+  // Advances the flat view from `parent_root` to `new_root`, recording the
+  // overwritten values as a poppable reverse-diff layer. A zero slot value
+  // erases the slot (matching trie deletion). If `parent_root` is not the
+  // current root the layer invalidates itself (see header comment).
+  void Apply(const Hash& parent_root, const Hash& new_root,
+             const std::vector<std::pair<Address, Account>>& accounts,
+             const std::vector<std::pair<StateSlotKey, U256>>& slots);
+
+  // Undoes the most recent Apply, repositioning the view at the parent root.
+  // Returns false (leaving the view unchanged) when no layer is retained.
+  bool PopLayer();
+
+  size_t layers() const;
+  FlatStateStats stats() const;
+
+ private:
+  struct DiffLayer {
+    Hash parent_root;
+    // Overwritten values; nullopt means the key was absent before the block.
+    std::vector<std::pair<Address, std::optional<Account>>> accounts;
+    std::vector<std::pair<StateSlotKey, std::optional<U256>>> slots;
+  };
+
+  void InvalidateLocked();
+
+  mutable std::shared_mutex mutex_;
+  size_t max_layers_;
+  bool valid_ = true;
+  Hash root_;
+  std::unordered_map<Address, Account, AddressHasher> accounts_;
+  std::unordered_map<StateSlotKey, U256, StateSlotKeyHasher> storage_;
+  std::deque<DiffLayer> layers_;  // oldest first; back() undoes the last Apply
+  FlatStateStats stats_;
+};
+
+}  // namespace frn
+
+#endif  // SRC_STATE_FLAT_STATE_H_

@@ -1,11 +1,17 @@
 #include "src/state/statedb.h"
 
+#include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <optional>
+
+#include "src/common/clock.h"
 
 #include "src/crypto/keccak.h"
 #include "src/obs/registry.h"
 #include "src/rlp/rlp.h"
+#include "src/state/commit_pool.h"
+#include "src/state/flat_state.h"
 
 namespace frn {
 
@@ -37,7 +43,7 @@ void SharedStateCache::PutAccount(const Address& addr, const Account& account) {
 
 std::optional<U256> SharedStateCache::GetStorage(const Address& addr, const U256& key) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  auto it = storage_.find(SlotKey{addr, key});
+  auto it = storage_.find(StateSlotKey{addr, key});
   if (it == storage_.end()) {
     return std::nullopt;
   }
@@ -46,7 +52,7 @@ std::optional<U256> SharedStateCache::GetStorage(const Address& addr, const U256
 
 void SharedStateCache::PutStorage(const Address& addr, const U256& key, const U256& value) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  storage_.emplace(SlotKey{addr, key}, value);
+  storage_.emplace(StateSlotKey{addr, key}, value);
 }
 
 size_t SharedStateCache::account_entries() const {
@@ -59,8 +65,13 @@ size_t SharedStateCache::storage_entries() const {
   return storage_.size();
 }
 
-StateDb::StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache)
-    : trie_(trie), root_(root), shared_cache_(shared_cache) {}
+StateDb::StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache,
+                 FlatState* flat, CommitPool* commit_pool)
+    : trie_(trie),
+      root_(root),
+      shared_cache_(shared_cache),
+      flat_(flat),
+      commit_pool_(commit_pool) {}
 
 Bytes StateDb::AccountKey(const Address& addr) {
   // Secure trie: key is keccak(address).
@@ -111,16 +122,33 @@ Account& StateDb::Load(const Address& addr) {
   if (it != accounts_.end()) {
     return it->second;
   }
+  static Counter* flat_hits = MetricsRegistry::Global().GetCounter("flat.hits");
+  static Counter* flat_misses = MetricsRegistry::Global().GetCounter("flat.misses");
   Account account;
-  bool from_shared = false;
-  if (shared_cache_ != nullptr && shared_cache_->root() == root_) {
+  bool resolved = false;
+  if (flat_ != nullptr) {
+    if (flat_->Covers(root_)) {
+      // Authoritative O(1) answer: under coverage, absence from the flat map
+      // means the account does not exist — no trie fallback needed.
+      if (auto cached = flat_->GetAccount(addr)) {
+        account = *cached;
+      }
+      resolved = true;
+      ++stats_.flat_hits;
+      flat_hits->Add();
+    } else {
+      ++stats_.flat_misses;
+      flat_misses->Add();
+    }
+  }
+  if (!resolved && shared_cache_ != nullptr && shared_cache_->root() == root_) {
     if (auto cached = shared_cache_->GetAccount(addr)) {
       account = *cached;
-      from_shared = true;
+      resolved = true;
       ++stats_.shared_cache_hits;
     }
   }
-  if (!from_shared) {
+  if (!resolved) {
     ++stats_.account_trie_reads;
     auto blob = trie_->Get(root_, AccountKey(addr));
     if (blob) {
@@ -224,9 +252,24 @@ U256 StateDb::GetCommittedStorage(const Address& addr, const U256& key) {
   if (it != cache.committed.end()) {
     return it->second;
   }
+  static Counter* flat_hits = MetricsRegistry::Global().GetCounter("flat.hits");
+  static Counter* flat_misses = MetricsRegistry::Global().GetCounter("flat.misses");
   U256 value;
   bool resolved = false;
-  if (shared_cache_ != nullptr && shared_cache_->root() == root_) {
+  if (flat_ != nullptr) {
+    if (flat_->Covers(root_)) {
+      // Authoritative: an uncovered slot is zero. This also skips the account
+      // load the trie path below needs for the storage root.
+      value = flat_->GetStorage(addr, key);
+      resolved = true;
+      ++stats_.flat_hits;
+      flat_hits->Add();
+    } else {
+      ++stats_.flat_misses;
+      flat_misses->Add();
+    }
+  }
+  if (!resolved && shared_cache_ != nullptr && shared_cache_->root() == root_) {
     if (auto cached = shared_cache_->GetStorage(addr, key)) {
       value = *cached;
       resolved = true;
@@ -322,33 +365,164 @@ void StateDb::RevertToSnapshot(int id) {
 
 Hash StateDb::Commit() {
   Hash state_root = root_.IsZero() ? Mpt::EmptyRoot() : root_;
-  // First fold dirty storage into each touched account's storage trie.
+  const Hash parent_root = state_root;  // zero-root normalized, like the base
+
+  // Phase 1: collect one job per account with dirty storage. Load() runs on
+  // the coordinator (the account cache and stats are not thread-safe); the
+  // fold below only touches per-job state.
+  struct StorageJob {
+    StorageCache* cache = nullptr;
+    Account* account = nullptr;
+    Hash new_root;
+    KvStore::StagedWrites staged;
+  };
+  std::vector<StorageJob> jobs;
   for (auto& [addr, cache] : storage_) {
     if (cache.current.empty()) {
       continue;
     }
-    Account& a = Load(addr);
-    Hash storage_root =
-        (a.storage_root.IsZero()) ? Mpt::EmptyRoot() : a.storage_root;
-    for (const auto& [key, value] : cache.current) {
-      Bytes encoded;
-      if (!value.IsZero()) {
-        encoded = RlpEncoder::EncodeUint(value);
+    StorageJob job;
+    job.cache = &cache;
+    job.account = &Load(addr);
+    jobs.push_back(std::move(job));
+  }
+
+  // Phase 2: fold + hash each account's storage subtrie. The subtries are
+  // disjoint and content-addressed, so any schedule produces the same roots;
+  // node blobs are staged per job (reads of a just-staged node are free, like
+  // a just-written hot node on the serial path) and batch-applied below.
+  //
+  // Per-job cost is modeled as thread-CPU plus store latency, the same
+  // scheduler-independent accounting the speculation pool uses: on executor
+  // threads cold-read latency is deferred into the job's sink (and the
+  // coordinator settles the slowest lane's total for real below), while the
+  // inline path spins as before — a spin is thread CPU, so both modes measure
+  // the same quantity.
+  const size_t lanes = commit_pool_ != nullptr ? commit_pool_->workers() : 1;
+  const bool defer_io = lanes > 1 && jobs.size() > 1;
+  std::vector<double> job_cost(jobs.size(), 0.0);
+  std::vector<double> job_io(jobs.size(), 0.0);
+  auto fold = [&](size_t i) {
+    StorageJob& job = jobs[i];
+    double cpu_start = ThreadCpuSeconds();
+    KvStoreStats io;
+    {
+      std::optional<KvStore::StatsScope> scope;
+      if (defer_io) {
+        scope.emplace(&io);
       }
-      storage_root = trie_->Put(storage_root, StorageKey(key), encoded);
+      KvStore::StageScope stage(&job.staged);
+      Hash storage_root = job.account->storage_root.IsZero()
+                              ? Mpt::EmptyRoot()
+                              : job.account->storage_root;
+      for (const auto& [key, value] : job.cache->current) {
+        Bytes encoded;
+        if (!value.IsZero()) {
+          encoded = RlpEncoder::EncodeUint(value);
+        }
+        storage_root = trie_->Put(storage_root, StorageKey(key), encoded);
+      }
+      job.new_root = storage_root;
+    }
+    job_io[i] = io.deferred_latency_seconds;
+    job_cost[i] = (ThreadCpuSeconds() - cpu_start) + io.deferred_latency_seconds;
+  };
+  if (commit_pool_ != nullptr) {
+    commit_pool_->Run(jobs.size(), fold);
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      fold(i);
+    }
+  }
+
+  // Lane accounting mirrors CommitPool's static stripe (job i runs on worker
+  // i % lanes), so the modeled wall is the cost of the slowest stripe. The
+  // coordinator pays the slowest stripe's deferred store latency physically:
+  // the critical path saves only the cross-lane overlap, never the I/O itself.
+  if (!jobs.empty()) {
+    double fold_serial = 0;
+    double fold_io = 0;
+    std::vector<double> lane_cost(lanes, 0.0);
+    std::vector<double> lane_io(lanes, 0.0);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      fold_serial += job_cost[i];
+      fold_io += job_io[i];
+      lane_cost[i % lanes] += job_cost[i];
+      lane_io[i % lanes] += job_io[i];
+    }
+    double fold_wall = *std::max_element(lane_cost.begin(), lane_cost.end());
+    double settle_io = *std::max_element(lane_io.begin(), lane_io.end());
+    if (defer_io && settle_io > 0) {
+      SpinFor(std::chrono::nanoseconds(static_cast<int64_t>(settle_io * 1e9)));
+    }
+    commit_stats_.fold_jobs += jobs.size();
+    commit_stats_.fold_serial_seconds += fold_serial;
+    commit_stats_.fold_wall_seconds += fold_wall;
+    commit_stats_.fold_io_seconds += fold_io;
+    static Counter* fold_jobs = MetricsRegistry::Global().GetCounter("commit.fold_jobs");
+    static SecondsCounter* fold_serial_counter =
+        MetricsRegistry::Global().GetSeconds("commit.fold_serial_seconds");
+    static SecondsCounter* fold_wall_counter =
+        MetricsRegistry::Global().GetSeconds("commit.fold_wall_seconds");
+    fold_jobs->Add(jobs.size());
+    fold_serial_counter->Add(fold_serial);
+    fold_wall_counter->Add(fold_wall);
+  }
+  ++commit_stats_.commits;
+
+  // Phase 3: one batched write of every staged node blob (single exclusive
+  // lock, deterministic job order), then fold results into the accounts.
+  std::vector<std::pair<StateSlotKey, U256>> flat_slots;
+  KvStore::StagedWrites batch;
+  for (StorageJob& job : jobs) {
+    for (auto& kv : job.staged.blobs) {
+      auto [it, inserted] = batch.index.emplace(kv.first, batch.blobs.size());
+      if (inserted) {
+        batch.blobs.push_back(std::move(kv));
+      } else {
+        batch.blobs[it->second].second = std::move(kv.second);
+      }
+    }
+    job.staged.blobs.clear();
+    job.staged.index.clear();
+  }
+  trie_->store()->ApplyStaged(std::move(batch));
+  for (auto& [addr, cache] : storage_) {
+    if (cache.current.empty()) {
+      continue;
+    }
+    if (flat_ != nullptr) {
+      for (const auto& [key, value] : cache.current) {
+        flat_slots.emplace_back(StateSlotKey{addr, key}, value);
+      }
+    }
+    for (const auto& [key, value] : cache.current) {
       cache.committed[key] = value;
     }
-    a.storage_root = storage_root;
-    a.exists = true;
     cache.current.clear();
   }
-  // Then write every loaded+existing account back to the state trie. Writing
-  // clean accounts is harmless (same bytes -> same node hashes).
+  for (StorageJob& job : jobs) {
+    job.account->storage_root = job.new_root;
+    job.account->exists = true;
+  }
+
+  // Phase 4: fold the account trie serially — it is a single dependent chain
+  // of Puts over one trie, and writing clean accounts is harmless (same
+  // bytes -> same node hashes).
+  std::vector<std::pair<Address, Account>> flat_accounts;
   for (auto& [addr, account] : accounts_) {
     if (!account.exists) {
       continue;
     }
     state_root = trie_->Put(state_root, AccountKey(addr), EncodeAccount(account));
+    if (flat_ != nullptr) {
+      flat_accounts.emplace_back(addr, account);
+    }
+  }
+
+  // Phase 5: push this block's diff layer onto the flat snapshot.
+  if (flat_ != nullptr) {
+    flat_->Apply(parent_root, state_root, flat_accounts, flat_slots);
   }
   root_ = state_root;
   journal_.clear();
@@ -356,6 +530,16 @@ Hash StateDb::Commit() {
 }
 
 void StateDb::PrefetchAccount(const Address& addr) {
+  if (flat_ != nullptr && flat_->Covers(root_)) {
+    // Committed-head reads are served O(1) from the flat layer, so there is
+    // no trie path to warm — only the code blob still lives behind the store.
+    if (auto cached = flat_->GetAccount(addr)) {
+      if (!cached->code_hash.IsZero()) {
+        trie_->store()->Get(cached->code_hash);  // heats the code blob
+      }
+    }
+    return;
+  }
   auto blob = trie_->Prefetch(root_, AccountKey(addr));
   if (shared_cache_ != nullptr) {
     if (shared_cache_->root() != root_) {
@@ -373,6 +557,9 @@ void StateDb::PrefetchAccount(const Address& addr) {
 }
 
 void StateDb::PrefetchStorage(const Address& addr, const U256& key) {
+  if (flat_ != nullptr && flat_->Covers(root_)) {
+    return;  // slot reads at the covered head never walk the trie
+  }
   Account account;
   bool have_account = false;
   if (shared_cache_ != nullptr && shared_cache_->root() == root_) {

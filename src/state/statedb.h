@@ -26,6 +26,38 @@ struct Account {
   bool exists = false;
 };
 
+// Composite key for one storage slot, shared by the SharedStateCache and the
+// FlatState snapshot maps.
+struct StateSlotKey {
+  Address addr;
+  U256 key;
+  bool operator==(const StateSlotKey& o) const {
+    return addr == o.addr && key == o.key;
+  }
+};
+
+// 64-bit hash_combine over (address hash, slot-key hash). The finalizer is
+// splitmix64's: both inputs are full-width mixed, so keys that differ only in
+// their high bytes (Solidity left-aligns short byte arrays/strings in the
+// high bytes of a slot) still spread across the low bucket bits — the old
+// `addr_hash * 1000003u ^ key_hash` combine propagated carries upward only
+// and clustered such keys into a handful of buckets.
+struct StateSlotKeyHasher {
+  static uint64_t Mix64(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+  size_t operator()(const StateSlotKey& k) const {
+    uint64_t h = Mix64(AddressHasher{}(k.addr));
+    h = Mix64(h ^ (k.key.HashValue() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+    return static_cast<size_t>(h);
+  }
+};
+
 // Values read ahead of time by the prefetcher, shared between the speculative
 // and the critical-path StateDB instances. All entries are valid only for the
 // state root they were read at.
@@ -48,36 +80,61 @@ class SharedStateCache {
   size_t storage_entries() const;
 
  private:
-  struct SlotKey {
-    Address addr;
-    U256 key;
-    bool operator==(const SlotKey& o) const { return addr == o.addr && key == o.key; }
-  };
-  struct SlotKeyHasher {
-    size_t operator()(const SlotKey& k) const {
-      return AddressHasher{}(k.addr) * 1000003u ^ k.key.HashValue();
-    }
-  };
-
   mutable std::shared_mutex mutex_;
   Hash root_;
   std::unordered_map<Address, Account, AddressHasher> accounts_;
-  std::unordered_map<SlotKey, U256, SlotKeyHasher> storage_;
+  std::unordered_map<StateSlotKey, U256, StateSlotKeyHasher> storage_;
 };
 
 struct StateDbStats {
   uint64_t account_trie_reads = 0;
   uint64_t storage_trie_reads = 0;
   uint64_t shared_cache_hits = 0;
+  uint64_t flat_hits = 0;         // reads answered by the flat snapshot layer
+  uint64_t flat_misses = 0;       // flat layer attached but not covering root
   uint64_t snapshots = 0;         // call-frame snapshots taken
   uint64_t reverts = 0;           // RevertToSnapshot calls
   uint64_t entries_reverted = 0;  // journal entries undone by reverts
+
+  StateDbStats& operator+=(const StateDbStats& o) {
+    account_trie_reads += o.account_trie_reads;
+    storage_trie_reads += o.storage_trie_reads;
+    shared_cache_hits += o.shared_cache_hits;
+    flat_hits += o.flat_hits;
+    flat_misses += o.flat_misses;
+    snapshots += o.snapshots;
+    reverts += o.reverts;
+    entries_reverted += o.entries_reverted;
+    return *this;
+  }
 };
+
+// Modeled cost accounting for the two-phase commit pipeline, accumulated per
+// StateDb instance across its Commit() calls. Job costs are thread-CPU plus
+// deferred store latency (the ThreadCpuSeconds idiom the speculation pool
+// uses), so the serial/wall split holds on any host regardless of how many
+// physical cores back the commit workers.
+struct CommitStats {
+  uint64_t commits = 0;
+  uint64_t fold_jobs = 0;           // storage-subtrie fold jobs dispatched
+  double fold_serial_seconds = 0;   // sum of per-job modeled cost
+  double fold_wall_seconds = 0;     // max over modeled lanes per commit, summed
+  double fold_io_seconds = 0;       // store latency deferred inside the folds
+};
+
+class FlatState;
+class CommitPool;
 
 class StateDb {
  public:
-  // Opens the world state at `root`. `shared_cache` may be null.
-  StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache = nullptr);
+  // Opens the world state at `root`. `shared_cache`, `flat` and `commit_pool`
+  // may each be null. When `flat` covers `root`, account and committed-slot
+  // reads are answered O(1) from it (authoritatively: a flat miss under
+  // coverage means definitive absence) and the trie is never walked; Commit
+  // pushes the block's diff onto it. `commit_pool` parallelizes Commit's
+  // independent storage-subtrie folds; roots are bit-identical either way.
+  StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache = nullptr,
+          FlatState* flat = nullptr, CommitPool* commit_pool = nullptr);
 
   // ---- Account access ----
   bool Exists(const Address& addr);
@@ -118,6 +175,7 @@ class StateDb {
   const Hash& root() const { return root_; }
   Mpt* trie() { return trie_; }
   const StateDbStats& stats() const { return stats_; }
+  const CommitStats& commit_stats() const { return commit_stats_; }
 
  private:
   struct JournalEntry {
@@ -140,6 +198,8 @@ class StateDb {
   Mpt* trie_;
   Hash root_;
   SharedStateCache* shared_cache_;
+  FlatState* flat_;
+  CommitPool* commit_pool_;
 
   std::unordered_map<Address, Account, AddressHasher> accounts_;
   // Per-account storage caches: committed values and current (dirty) values.
@@ -151,6 +211,7 @@ class StateDb {
   std::unordered_map<Hash, Bytes, HashHasher> code_cache_;
   std::vector<JournalEntry> journal_;
   StateDbStats stats_;
+  CommitStats commit_stats_;
 };
 
 }  // namespace frn

@@ -10,6 +10,11 @@ namespace {
 // speculates against one store at a time, so a single slot suffices.
 thread_local KvStoreStats* tls_stats_sink = nullptr;
 
+// Per-thread write-staging buffer installed by KvStore::StageScope. A commit
+// worker folds exactly one store's subtries at a time, so a single slot
+// suffices here too.
+thread_local KvStore::StagedWrites* tls_staged = nullptr;
+
 }  // namespace
 
 void SpinFor(std::chrono::nanoseconds duration) {
@@ -25,6 +30,12 @@ KvStore::StatsScope::StatsScope(KvStoreStats* sink) : previous_(tls_stats_sink) 
 
 KvStore::StatsScope::~StatsScope() { tls_stats_sink = previous_; }
 
+KvStore::StageScope::StageScope(StagedWrites* staged) : previous_(tls_staged) {
+  tls_staged = staged;
+}
+
+KvStore::StageScope::~StageScope() { tls_staged = previous_; }
+
 KvStore::HotShard& KvStore::ShardFor(const Hash& key) const {
   return hot_[key.bytes()[0] % kHotShards];
 }
@@ -33,6 +44,14 @@ std::optional<Bytes> KvStore::Get(const Hash& key) {
   reads_.fetch_add(1, std::memory_order_relaxed);
   if (tls_stats_sink != nullptr) {
     ++tls_stats_sink->reads;
+  }
+  if (tls_staged != nullptr) {
+    // A node this thread staged reads back without miss latency — on the
+    // serial path a just-written node is hot for the same reason.
+    auto it = tls_staged->index.find(key);
+    if (it != tls_staged->index.end()) {
+      return tls_staged->blobs[it->second].second;
+    }
   }
   std::optional<Bytes> value;
   {
@@ -53,6 +72,11 @@ std::optional<Bytes> KvStore::Get(const Hash& key) {
       ++tls_stats_sink->cold_reads;
       tls_stats_sink->deferred_latency_seconds +=
           std::chrono::duration<double>(options_.cold_read_latency).count();
+      // Same event, global view: stats() must account for every cold read
+      // whether it was spun or deferred (see the KvStoreStats contract).
+      deferred_nanos_.fetch_add(
+          static_cast<uint64_t>(options_.cold_read_latency.count()),
+          std::memory_order_relaxed);
     } else {
       SpinFor(options_.cold_read_latency);
       stall_nanos_.fetch_add(
@@ -69,11 +93,37 @@ void KvStore::Put(const Hash& key, Bytes value) {
   if (tls_stats_sink != nullptr) {
     ++tls_stats_sink->writes;
   }
+  if (tls_staged != nullptr) {
+    auto [it, inserted] = tls_staged->index.emplace(key, tls_staged->blobs.size());
+    if (inserted) {
+      tls_staged->blobs.emplace_back(key, std::move(value));
+    } else {
+      tls_staged->blobs[it->second].second = std::move(value);
+    }
+    return;
+  }
   {
     std::unique_lock<std::shared_mutex> lock(data_mutex_);
     data_[key] = std::move(value);
   }
   Touch(key);
+}
+
+void KvStore::ApplyStaged(StagedWrites&& staged) {
+  if (staged.empty()) {
+    return;
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mutex_);
+    for (auto& [key, value] : staged.blobs) {
+      data_[key] = std::move(value);
+    }
+  }
+  for (const auto& kv : staged.blobs) {
+    Touch(kv.first);
+  }
+  staged.blobs.clear();
+  staged.index.clear();
 }
 
 bool KvStore::Contains(const Hash& key) const {
@@ -102,6 +152,8 @@ KvStoreStats KvStore::stats() const {
   s.reads = reads_.load(std::memory_order_relaxed);
   s.cold_reads = cold_reads_.load(std::memory_order_relaxed);
   s.writes = writes_.load(std::memory_order_relaxed);
+  s.deferred_latency_seconds =
+      1e-9 * static_cast<double>(deferred_nanos_.load(std::memory_order_relaxed));
   s.stall_seconds = 1e-9 * static_cast<double>(stall_nanos_.load(std::memory_order_relaxed));
   return s;
 }
@@ -111,6 +163,16 @@ void KvStore::ResetStats() {
   cold_reads_.store(0, std::memory_order_relaxed);
   writes_.store(0, std::memory_order_relaxed);
   stall_nanos_.store(0, std::memory_order_relaxed);
+  deferred_nanos_.store(0, std::memory_order_relaxed);
+}
+
+size_t KvStore::hot_size() const {
+  size_t total = 0;
+  for (const HotShard& shard : hot_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    total += shard.keys.size();
+  }
+  return total;
 }
 
 size_t KvStore::size() const {
@@ -119,6 +181,17 @@ size_t KvStore::size() const {
 }
 
 void KvStore::Touch(const Hash& key) {
+  HotShard& shard = ShardFor(key);
+  {
+    // Re-touching a resident key leaves occupancy unchanged, so it must never
+    // trigger eviction: commits rewrite content-identical node blobs and the
+    // prefetcher re-warms live paths constantly, and either one hitting the
+    // capacity check while already hot would wipe the entire hot set.
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.keys.contains(key)) {
+      return;
+    }
+  }
   // Capacity is enforced on the aggregate occupancy (an approximate global
   // counter), not per shard: wholesale eviction at `hot_set_capacity` total
   // entries reproduces the pre-sharding single-set model exactly in the
@@ -130,7 +203,6 @@ void KvStore::Touch(const Hash& key) {
       std::max<size_t>(1, options_.hot_set_capacity)) {
     CoolAll();
   }
-  HotShard& shard = ShardFor(key);
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
   if (shard.keys.insert(key).second) {
     hot_count_.fetch_add(1, std::memory_order_relaxed);

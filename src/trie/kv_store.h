@@ -22,6 +22,8 @@
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "src/common/types.h"
 
@@ -40,6 +42,13 @@ struct KvStoreStats {
   // spun. Threads under a StatsScope (speculation workers) accumulate the
   // miss cost here so their modeled busy time includes it exactly once,
   // independent of how the OS schedules the worker threads.
+  //
+  // Contract: every deferred cold read is recorded in exactly two places —
+  // once in the installing thread's sink (per-worker attribution) and once in
+  // the store's global total reported by stats(). The two views cover the
+  // same events; summing a sink into the global total double-counts.
+  // ResetStats() zeroes the store's global total only: installed sinks belong
+  // to their scopes and are never touched by the store.
   double deferred_latency_seconds = 0;
   // Simulated-disk time physically spun (critical-path cold reads, i.e. reads
   // outside any StatsScope). deferred + stall together cover every cold read.
@@ -68,6 +77,8 @@ class KvStore {
   bool IsHot(const Hash& key) const;
   // Evicts the whole hot set (e.g. between benchmark phases).
   void CoolAll();
+  // Current hot-set occupancy (sums the shards; test/diagnostic use).
+  size_t hot_size() const;
 
   // Snapshot of the global counters (consistent enough for reporting; the
   // counters are independent atomics).
@@ -80,7 +91,8 @@ class KvStore {
   // cache-hit rates per worker without cross-thread sampling races. While a
   // scope is installed, cold reads defer their latency into the sink instead
   // of busy-waiting: off-critical-path time is charged by the model, not by
-  // physically stalling a worker.
+  // physically stalling a worker. (Deferred latency still lands in the global
+  // stats() total once — see the KvStoreStats contract above.)
   class StatsScope {
    public:
     explicit StatsScope(KvStoreStats* sink);
@@ -91,6 +103,36 @@ class KvStore {
    private:
     KvStoreStats* previous_;
   };
+
+  // Write staging for the parallel commit pipeline: node blobs produced by
+  // independent subtrie folds are buffered per worker and applied to the
+  // shared map in one exclusive-lock batch. While a StageScope is installed
+  // on a thread, Put() appends to the buffer instead of taking the data lock,
+  // and Get() consults the buffer first — a just-staged node reads back
+  // without miss latency, exactly like a just-written node on the serial
+  // path (newly written nodes are hot).
+  struct StagedWrites {
+    std::vector<std::pair<Hash, Bytes>> blobs;  // in Put order
+    std::unordered_map<Hash, size_t, HashHasher> index;
+
+    bool empty() const { return blobs.empty(); }
+  };
+
+  class StageScope {
+   public:
+    explicit StageScope(StagedWrites* staged);
+    ~StageScope();
+    StageScope(const StageScope&) = delete;
+    StageScope& operator=(const StageScope&) = delete;
+
+   private:
+    StagedWrites* previous_;
+  };
+
+  // Applies a staging buffer to the store under a single exclusive lock, in
+  // Put order, routing each blob through the same hot-set occupancy
+  // accounting as a direct Put. Writes were already counted when staged.
+  void ApplyStaged(StagedWrites&& staged);
 
  private:
   // The hot set is sharded to keep speculation workers from serializing on a
@@ -117,6 +159,9 @@ class KvStore {
   std::atomic<uint64_t> cold_reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> stall_nanos_{0};
+  // Global total of latency deferred into StatsScope sinks (see the
+  // KvStoreStats contract: same events as the sinks, reported once here).
+  std::atomic<uint64_t> deferred_nanos_{0};
 };
 
 }  // namespace frn

@@ -1,0 +1,319 @@
+// Tests of the flat snapshot state layer: authoritative O(1) reads at the
+// committed head, one diff layer per commit popped exactly on rollback, the
+// bounded layer window, the parent-mismatch safety valve, and bit-identical
+// roots between the inline and parallel commit pipelines.
+#include "src/state/flat_state.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/crypto/keccak.h"
+#include "src/forerunner/node.h"
+#include "src/state/commit_pool.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+namespace {
+
+KvStore::Options FastStore() {
+  KvStore::Options o;
+  o.cold_read_latency = std::chrono::nanoseconds(0);
+  return o;
+}
+
+class FlatStateTest : public ::testing::Test {
+ protected:
+  FlatStateTest() : store_(FastStore()), trie_(&store_) {}
+
+  KvStore store_;
+  Mpt trie_;
+};
+
+TEST_F(FlatStateTest, CoversEmptyRootFromBirth) {
+  // The flat maps start empty, which is genuinely complete for the empty
+  // trie: a miss at the empty root is an authoritative absence.
+  FlatState flat(4);
+  EXPECT_TRUE(flat.Covers(Mpt::EmptyRoot()));
+  EXPECT_FALSE(flat.GetAccount(Address::FromId(1)).has_value());
+  EXPECT_EQ(flat.GetStorage(Address::FromId(1), U256(1)), U256(0));
+  EXPECT_EQ(flat.layers(), 0u);
+}
+
+TEST_F(FlatStateTest, CommitPushesOneLayerAndReadsBack) {
+  FlatState flat(4);
+  Address a = Address::FromId(1);
+  StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+  db.AddBalance(a, U256(42));
+  db.SetNonce(a, 7);
+  db.SetStorage(a, U256(3), U256(33));
+  Hash root = db.Commit();
+
+  EXPECT_TRUE(flat.Covers(root));
+  EXPECT_FALSE(flat.Covers(Mpt::EmptyRoot()));
+  EXPECT_EQ(flat.layers(), 1u);
+  auto acct = flat.GetAccount(a);
+  ASSERT_TRUE(acct.has_value());
+  EXPECT_EQ(acct->balance, U256(42));
+  EXPECT_EQ(acct->nonce, 7u);
+  EXPECT_EQ(flat.GetStorage(a, U256(3)), U256(33));
+  EXPECT_EQ(flat.stats().applies, 1u);
+}
+
+TEST_F(FlatStateTest, PopLayerRestoresTheParentView) {
+  FlatState flat(4);
+  Address a = Address::FromId(1);
+  Address b = Address::FromId(2);
+
+  StateDb db1(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+  db1.AddBalance(a, U256(10));
+  db1.SetStorage(a, U256(1), U256(100));
+  Hash root1 = db1.Commit();
+
+  StateDb db2(&trie_, root1, nullptr, &flat);
+  db2.AddBalance(a, U256(5));          // 10 -> 15
+  db2.SetStorage(a, U256(1), U256(0));  // delete the slot
+  db2.SetStorage(a, U256(2), U256(200));
+  db2.AddBalance(b, U256(77));          // account created in block 2
+  Hash root2 = db2.Commit();
+  ASSERT_TRUE(flat.Covers(root2));
+  EXPECT_EQ(flat.GetStorage(a, U256(1)), U256(0));  // zero == erased
+
+  ASSERT_TRUE(flat.PopLayer());
+  EXPECT_TRUE(flat.Covers(root1));
+  EXPECT_FALSE(flat.Covers(root2));
+  auto acct = flat.GetAccount(a);
+  ASSERT_TRUE(acct.has_value());
+  EXPECT_EQ(acct->balance, U256(10));
+  EXPECT_EQ(flat.GetStorage(a, U256(1)), U256(100));  // deletion undone
+  EXPECT_EQ(flat.GetStorage(a, U256(2)), U256(0));    // later write undone
+  EXPECT_FALSE(flat.GetAccount(b).has_value());       // creation undone
+  EXPECT_EQ(flat.stats().pops, 1u);
+
+  // The restored view agrees with the trie at root1 on every location.
+  StateDb check(&trie_, root1, nullptr, &flat);
+  EXPECT_EQ(check.GetBalance(a), U256(10));
+  EXPECT_EQ(check.GetStorage(a, U256(1)), U256(100));
+}
+
+TEST_F(FlatStateTest, LayerWindowIsBoundedDroppingOldest) {
+  FlatState flat(/*max_layers=*/2);
+  Address a = Address::FromId(1);
+  Hash root = Mpt::EmptyRoot();
+  std::vector<Hash> roots;
+  for (int i = 1; i <= 5; ++i) {
+    StateDb db(&trie_, root, nullptr, &flat);
+    db.AddBalance(a, U256(1));
+    root = db.Commit();
+    roots.push_back(root);
+  }
+  EXPECT_EQ(flat.layers(), 2u);
+  EXPECT_EQ(flat.stats().dropped_layers, 3u);
+  EXPECT_TRUE(flat.Covers(roots[4]));
+
+  // Two pops succeed (the retained window); the third is refused and the
+  // flat view stays put, still covering the deepest retained root.
+  EXPECT_TRUE(flat.PopLayer());
+  EXPECT_TRUE(flat.PopLayer());
+  EXPECT_TRUE(flat.Covers(roots[2]));
+  EXPECT_FALSE(flat.PopLayer());
+  EXPECT_TRUE(flat.Covers(roots[2]));
+}
+
+TEST_F(FlatStateTest, ParentMismatchPermanentlyInvalidates) {
+  FlatState flat(4);
+  Address a = Address::FromId(1);
+  // An Apply whose parent is not the flat head means the caller committed a
+  // block the layer never saw: the only safe answer is to stop covering
+  // anything, forever, so readers fall back to the trie.
+  StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+  db.AddBalance(a, U256(1));
+  Hash root = db.Commit();
+  ASSERT_TRUE(flat.Covers(root));
+
+  Hash bogus_parent = Keccak256Word(U256(0xBAD));
+  flat.Apply(bogus_parent, Keccak256Word(U256(0xBEEF)), {}, {});
+  EXPECT_FALSE(flat.Covers(root));
+  EXPECT_EQ(flat.stats().invalidations, 1u);
+  EXPECT_FALSE(flat.PopLayer());
+
+  // Readers through StateDb silently fall back to the trie.
+  StateDb reader(&trie_, root, nullptr, &flat);
+  EXPECT_EQ(reader.GetBalance(a), U256(1));
+  EXPECT_EQ(reader.stats().flat_hits, 0u);
+}
+
+// Drives the same randomized multi-block workload through an inline commit
+// and a 4-worker parallel commit and requires bit-identical roots after every
+// block. The storage-subtrie folds are disjoint and the trie is
+// content-addressed, so any schedule must reproduce the serial result.
+TEST_F(FlatStateTest, ParallelCommitIsBitIdenticalToInline) {
+  auto run = [](size_t workers) {
+    KvStore store(FastStore());
+    Mpt trie(&store);
+    CommitPool pool(workers);
+    FlatState flat(8);
+    Rng rng(0xF1A7);
+    Hash root = Mpt::EmptyRoot();
+    std::vector<Hash> roots;
+    for (int block = 0; block < 12; ++block) {
+      StateDb db(&trie, root, nullptr, &flat, &pool);
+      // Touch a random subset of 24 accounts, each with a few slots, so some
+      // blocks carry many storage jobs and some carry none.
+      size_t n_accounts = 1 + rng.NextBounded(8);
+      for (size_t i = 0; i < n_accounts; ++i) {
+        Address addr = Address::FromId(1 + rng.NextBounded(24));
+        db.AddBalance(addr, U256(1 + rng.NextBounded(1000)));
+        size_t n_slots = rng.NextBounded(5);
+        for (size_t s = 0; s < n_slots; ++s) {
+          uint64_t key = rng.NextBounded(16);
+          // Mix writes and deletes (zero value) to exercise erase paths.
+          uint64_t value = rng.NextBounded(4) == 0 ? 0 : rng.NextU64();
+          db.SetStorage(addr, U256(key), U256(value));
+        }
+      }
+      root = db.Commit();
+      roots.push_back(root);
+    }
+    return roots;
+  };
+
+  std::vector<Hash> inline_roots = run(1);
+  std::vector<Hash> parallel_roots = run(4);
+  ASSERT_EQ(inline_roots.size(), parallel_roots.size());
+  for (size_t i = 0; i < inline_roots.size(); ++i) {
+    EXPECT_EQ(inline_roots[i], parallel_roots[i]) << "block " << i;
+  }
+}
+
+// Readers race Apply/PopLayer under TSan: the shared_mutex must make every
+// interleaving well-defined (readers see either the old or the new layer,
+// never a torn one).
+TEST_F(FlatStateTest, ConcurrentReadersRaceApplyAndPop) {
+  FlatState flat(8);
+  Address a = Address::FromId(1);
+  StateDb seed(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+  seed.AddBalance(a, U256(1));
+  seed.SetStorage(a, U256(1), U256(1));
+  Hash root = seed.Commit();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto acct = flat.GetAccount(a);
+        if (acct.has_value()) {
+          EXPECT_FALSE(acct->balance.IsZero());
+        }
+        (void)flat.GetStorage(a, U256(1));
+        (void)flat.Covers(root);
+        (void)flat.stats();
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    StateDb db(&trie_, flat.root(), nullptr, &flat);
+    db.AddBalance(a, U256(1));
+    db.SetStorage(a, U256(1 + round % 4), U256(round + 1));
+    root = db.Commit();
+    if (round % 3 == 2) {
+      flat.PopLayer();
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_GE(flat.stats().applies, 50u);
+}
+
+// End-to-end through the node: a flat-enabled node and a flat-disabled node
+// execute the same blocks to identical roots, and a rollback walks the flat
+// layer back in lockstep with the chain head.
+class FlatNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.store.cold_read_latency = std::chrono::nanoseconds(0);
+    sender_ = Address::FromId(1);
+  }
+
+  std::unique_ptr<Node> MakeNode(bool flat_enabled, size_t commit_workers) {
+    NodeOptions options = options_;
+    options.flat.enabled = flat_enabled;
+    options.chain.commit_workers = commit_workers;
+    auto genesis = [this](StateDb* state) {
+      state->AddBalance(sender_, U256::Exp(U256(10), U256(21)));
+    };
+    return std::make_unique<Node>(options, genesis);
+  }
+
+  Block MakeBlock(uint64_t number) {
+    Transaction tx;
+    tx.id = number;
+    tx.sender = sender_;
+    tx.to = Address::FromId(2);
+    tx.value = U256(5);
+    tx.nonce = number - 1;
+    tx.gas_limit = 30'000;
+    tx.gas_price = U256(1'000'000'000);
+    Block block;
+    block.header.number = number;
+    block.header.timestamp = 1'700'000'000 + number * 13;
+    block.txs = {tx};
+    return block;
+  }
+
+  NodeOptions options_;
+  Address sender_;
+};
+
+TEST_F(FlatNodeTest, FlatNodeMatchesPlainNodeAndFollowsRollbacks) {
+  auto plain = MakeNode(false, 1);
+  auto flat_node = MakeNode(true, 2);
+  ASSERT_TRUE(flat_node->flat_enabled());
+  EXPECT_FALSE(plain->flat_enabled());
+
+  std::vector<Hash> roots;
+  for (uint64_t n = 1; n <= 5; ++n) {
+    Block block = MakeBlock(n);
+    BlockExecReport plain_report = plain->ExecuteBlock(block, 13.0 * n);
+    BlockExecReport flat_report = flat_node->ExecuteBlock(block, 13.0 * n);
+    ASSERT_EQ(plain_report.state_root, flat_report.state_root) << "block " << n;
+    roots.push_back(flat_report.state_root);
+  }
+  // Genesis + 5 blocks, window = max_reorg_depth.
+  FlatStateStats stats = flat_node->flat_stats();
+  EXPECT_EQ(stats.applies, 6u);
+  EXPECT_GT(stats.accounts, 0u);
+
+  // The committed head is served from the flat maps, not trie walks.
+  StateDbStats chain_stats = flat_node->chain_state_stats();
+  EXPECT_GT(chain_stats.flat_hits, 0u);
+
+  // Roll both nodes back two blocks: the flat layer pops in lockstep and
+  // still covers the (restored) head root.
+  for (int i = 0; i < 2; ++i) {
+    plain->RollbackHead();
+    flat_node->RollbackHead();
+  }
+  EXPECT_EQ(flat_node->head_root(), plain->head_root());
+  EXPECT_EQ(flat_node->head_root(), roots[2]);
+  EXPECT_EQ(flat_node->flat_stats().pops, 2u);
+
+  // Re-execute the undone blocks: identical roots again, flat still live.
+  for (uint64_t n = 4; n <= 5; ++n) {
+    Block block = MakeBlock(n);
+    BlockExecReport plain_report = plain->ExecuteBlock(block, 100.0 + n);
+    BlockExecReport flat_report = flat_node->ExecuteBlock(block, 100.0 + n);
+    ASSERT_EQ(plain_report.state_root, flat_report.state_root);
+    EXPECT_EQ(flat_report.state_root, roots[n - 1]);
+  }
+  EXPECT_EQ(flat_node->flat_stats().invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace frn

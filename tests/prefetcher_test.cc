@@ -1,0 +1,175 @@
+// Tests of the state prefetcher: it warms the KvStore hot set and the
+// SharedStateCache for everything a pre-execution read, it never changes
+// logical state (a commit after prefetching reproduces the same root), the
+// shared cache invalidates on Reset to a new root, and a flat-covered root
+// skips the trie walks entirely.
+#include "src/forerunner/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/keccak.h"
+#include "src/state/flat_state.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+namespace {
+
+// Unlike most tests, keep the cold-read latency nonzero: the prefetcher's
+// whole point is moving that latency off the critical path, and the stall
+// accounting is how we observe which walks it saved.
+KvStore::Options ModelStore() {
+  KvStore::Options o;
+  o.cold_read_latency = std::chrono::nanoseconds(2000);
+  return o;
+}
+
+class PrefetcherTest : public ::testing::Test {
+ protected:
+  PrefetcherTest() : store_(ModelStore()), trie_(&store_) {}
+
+  // Three accounts: one with storage and code, one plain, one untouched.
+  Hash BuildState() {
+    StateDb db(&trie_, Mpt::EmptyRoot());
+    db.AddBalance(a_, U256(100));
+    db.SetStorage(a_, U256(1), U256(11));
+    db.SetStorage(a_, U256(2), U256(22));
+    db.SetCode(a_, Bytes{0x60, 0x00, 0x60, 0x00, 0xF3});
+    db.AddBalance(b_, U256(200));
+    return db.Commit();
+  }
+
+  ReadSet ReadsForAB() {
+    ReadSet reads;
+    reads.accounts = {a_, b_};
+    reads.storage_keys = {{a_, U256(1)}, {a_, U256(2)}};
+    return reads;
+  }
+
+  KvStore store_;
+  Mpt trie_;
+  Address a_ = Address::FromId(1);
+  Address b_ = Address::FromId(2);
+};
+
+TEST_F(PrefetcherTest, WarmsHotSetAndSharedCacheOffTheCriticalPath) {
+  Hash root = BuildState();
+  store_.CoolAll();
+  store_.ResetStats();
+
+  SharedStateCache cache;
+  cache.Reset(root);
+  Prefetcher prefetcher(&trie_, &cache);
+  prefetcher.Prefetch(root, ReadsForAB());
+
+  // The prefetch walk itself paid the cold reads...
+  EXPECT_GT(store_.stats().cold_reads, 0u);
+  // ...and populated the shared cache with the resolved values.
+  EXPECT_EQ(cache.account_entries(), 2u);
+  EXPECT_EQ(cache.storage_entries(), 2u);
+  ASSERT_TRUE(cache.GetAccount(a_).has_value());
+  EXPECT_EQ(cache.GetStorage(a_, U256(1)).value_or(U256(0)), U256(11));
+
+  // A critical-path reader WITHOUT the shared cache re-walks the trie, but
+  // every node it needs is now hot: zero cold reads, zero stall.
+  store_.ResetStats();
+  StateDb critical(&trie_, root);
+  EXPECT_EQ(critical.GetBalance(a_), U256(100));
+  EXPECT_EQ(critical.GetStorage(a_, U256(1)), U256(11));
+  EXPECT_EQ(critical.GetStorage(a_, U256(2)), U256(22));
+  EXPECT_EQ(critical.GetBalance(b_), U256(200));
+  EXPECT_EQ(store_.stats().cold_reads, 0u);
+  EXPECT_DOUBLE_EQ(store_.stats().stall_seconds, 0.0);
+}
+
+TEST_F(PrefetcherTest, NeverChangesLogicalStateOrRoot) {
+  Hash root = BuildState();
+  SharedStateCache cache;
+  cache.Reset(root);
+  Prefetcher prefetcher(&trie_, &cache);
+
+  ReadSet reads = ReadsForAB();
+  // Include locations that do not exist: prefetching absence is legal.
+  reads.accounts.push_back(Address::FromId(99));
+  reads.storage_keys.push_back({b_, U256(7)});
+  prefetcher.Prefetch(root, reads);
+
+  // A fresh state view opened at the same root commits to the same root:
+  // prefetching loaded caches but wrote nothing logical.
+  StateDb db(&trie_, root, &cache);
+  EXPECT_EQ(db.GetBalance(a_), U256(100));
+  EXPECT_EQ(db.GetBalance(Address::FromId(99)), U256(0));
+  EXPECT_EQ(db.Commit(), root);
+}
+
+TEST_F(PrefetcherTest, SharedCacheInvalidatesOnRootReset) {
+  Hash root = BuildState();
+  SharedStateCache cache;
+  cache.Reset(root);
+  Prefetcher prefetcher(&trie_, &cache);
+  prefetcher.Prefetch(root, ReadsForAB());
+  ASSERT_GT(cache.account_entries(), 0u);
+
+  // The head moved: everything cached for the old root is dropped.
+  Hash new_root = Keccak256Word(U256(0x1234));
+  cache.Reset(new_root);
+  EXPECT_EQ(cache.account_entries(), 0u);
+  EXPECT_EQ(cache.storage_entries(), 0u);
+  EXPECT_FALSE(cache.GetAccount(a_).has_value());
+  EXPECT_EQ(cache.root(), new_root);
+}
+
+TEST_F(PrefetcherTest, FlatCoveredRootSkipsTrieWalks) {
+  FlatState flat(4);
+  Hash root;
+  {
+    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+    db.AddBalance(a_, U256(100));
+    db.SetStorage(a_, U256(1), U256(11));
+    db.AddBalance(b_, U256(200));
+    root = db.Commit();
+  }
+  ASSERT_TRUE(flat.Covers(root));
+  store_.CoolAll();
+  store_.ResetStats();
+
+  SharedStateCache cache;
+  cache.Reset(root);
+  Prefetcher prefetcher(&trie_, &cache, &flat);
+  prefetcher.Prefetch(root, ReadsForAB());
+
+  // Accounts and slots are already O(1) through the flat maps and none of
+  // these accounts carry code, so the prefetch touches the store not at all.
+  EXPECT_EQ(store_.stats().reads, 0u);
+  EXPECT_EQ(store_.stats().cold_reads, 0u);
+}
+
+TEST_F(PrefetcherTest, FlatCoveredRootStillHeatsCodeBlobs) {
+  FlatState flat(4);
+  Hash root;
+  Bytes code{0x60, 0x00, 0x60, 0x00, 0xF3};
+  {
+    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+    db.AddBalance(a_, U256(100));
+    db.SetCode(a_, code);
+    root = db.Commit();
+  }
+  ASSERT_TRUE(flat.Covers(root));
+  store_.CoolAll();
+  store_.ResetStats();
+
+  SharedStateCache cache;
+  cache.Reset(root);
+  Prefetcher prefetcher(&trie_, &cache, &flat);
+  ReadSet reads;
+  reads.accounts = {a_};
+  prefetcher.Prefetch(root, reads);
+
+  // Code lives behind the store, not in the flat maps: the prefetch pays
+  // exactly the code-blob read (no trie-node walks) and leaves it hot.
+  EXPECT_EQ(store_.stats().reads, 1u);
+  Hash code_hash = Keccak256(code);
+  EXPECT_TRUE(store_.IsHot(code_hash));
+}
+
+}  // namespace
+}  // namespace frn

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/common/rng.h"
+#include "src/state/flat_state.h"
 
 namespace frn {
 namespace {
@@ -260,6 +263,88 @@ TEST_P(StateDbModelProperty, MatchesReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StateDbModelProperty, ::testing::Range(0, 6));
+
+TEST(SlotKeyHasherTest, SpreadsKeysDifferingOnlyInHighBits) {
+  // Solidity left-aligns short byte strings, so real workloads produce slot
+  // keys that differ only in their top bytes. A combiner that only multiplies
+  // propagates carries upward and leaves the low hash bits identical for all
+  // such keys, collapsing them into one bucket of any power-of-two table.
+  StateSlotKeyHasher hasher;
+  constexpr size_t kAddrs = 4;
+  constexpr size_t kKeys = 4096;
+  constexpr uint64_t kMask = 0xFFFF;  // low 16 bits = bucket index, table of 64Ki
+  std::set<uint64_t> buckets;
+  for (size_t a = 0; a < kAddrs; ++a) {
+    Address addr = Address::FromId(a + 1);
+    for (uint64_t t = 0; t < kKeys; ++t) {
+      StateSlotKey key{addr, U256(t) << 240};
+      buckets.insert(hasher(key) & kMask);
+    }
+  }
+  const size_t total = kAddrs * kKeys;
+  // A well-mixed hash throwing 16Ki balls into 64Ki bins keeps the vast
+  // majority distinct; the old hasher produced only a handful of buckets.
+  EXPECT_GE(buckets.size(), total / 4)
+      << "low hash bits are insensitive to high key bits";
+}
+
+TEST(SlotKeyHasherTest, AddressContributesToLowBits) {
+  StateSlotKeyHasher hasher;
+  std::set<uint64_t> buckets;
+  for (size_t a = 0; a < 1024; ++a) {
+    buckets.insert(hasher(StateSlotKey{Address::FromId(a + 1), U256(7)}) & 0xFF);
+  }
+  EXPECT_GE(buckets.size(), 200u);  // ~256 bins, near-full coverage expected
+}
+
+TEST_F(StateDbTest, FlatLayerServesCommittedReadsWithoutTrieWalks) {
+  FlatState flat(/*max_layers=*/4);
+  Address a = Address::FromId(1);
+  Address b = Address::FromId(2);
+  Hash root;
+  {
+    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+    db.AddBalance(a, U256(100));
+    db.SetStorage(a, U256(1), U256(11));
+    db.AddBalance(b, U256(200));
+    root = db.Commit();
+  }
+  ASSERT_TRUE(flat.Covers(root));
+
+  StateDb db(&trie_, root, nullptr, &flat);
+  EXPECT_EQ(db.GetBalance(a), U256(100));
+  EXPECT_EQ(db.GetStorage(a, U256(1)), U256(11));
+  EXPECT_EQ(db.GetBalance(b), U256(200));
+  // A key never written reads as zero through the flat layer's authoritative
+  // absence, still without touching the trie.
+  EXPECT_EQ(db.GetStorage(b, U256(9)), U256(0));
+  EXPECT_EQ(db.GetBalance(Address::FromId(3)), U256(0));
+
+  StateDbStats s = db.stats();
+  EXPECT_GT(s.flat_hits, 0u);
+  EXPECT_EQ(s.account_trie_reads, 0u);
+  EXPECT_EQ(s.storage_trie_reads, 0u);
+}
+
+TEST_F(StateDbTest, FlatMissFallsBackToTrieOnUncoveredRoot) {
+  FlatState flat(/*max_layers=*/4);
+  Address a = Address::FromId(1);
+  Hash root;
+  {
+    // Commit WITHOUT the flat layer: flat still sits at the empty root and
+    // does not cover the resulting state.
+    StateDb db(&trie_, Mpt::EmptyRoot());
+    db.AddBalance(a, U256(5));
+    root = db.Commit();
+  }
+  ASSERT_FALSE(flat.Covers(root));
+
+  StateDb db(&trie_, root, nullptr, &flat);
+  EXPECT_EQ(db.GetBalance(a), U256(5));
+  StateDbStats s = db.stats();
+  EXPECT_EQ(s.flat_hits, 0u);
+  EXPECT_GT(s.account_trie_reads, 0u);
+}
 
 }  // namespace
 }  // namespace frn

@@ -3,20 +3,23 @@
 #   1. tier-1: default build + full ctest suite (build/)
 #   2. ASan build + full ctest suite (build-asan/)
 #   3. TSan concurrency subset via tools/run_tsan.sh (build-tsan/)
+#   4. UBSan build + full ctest suite (build-ubsan/)
 # Each stage uses its own build tree, so local incremental builds stay warm.
 #
-# Usage:  tools/ci.sh [--skip-asan] [--skip-tsan]
+# Usage:  tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-ubsan]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 skip_asan=0
 skip_tsan=0
+skip_ubsan=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-asan) skip_asan=1 ;;
     --skip-tsan) skip_tsan=1 ;;
-    *) echo "usage: tools/ci.sh [--skip-asan] [--skip-tsan]" >&2; exit 2 ;;
+    --skip-ubsan) skip_ubsan=1 ;;
+    *) echo "usage: tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-ubsan]" >&2; exit 2 ;;
   esac
 done
 
@@ -28,6 +31,9 @@ cmake --build "${repo_root}/build" -j"${jobs}"
 echo "=== CI stage 1b: reorg stress gate ==="
 "${repo_root}/build/bench/bench_reorg_stress" --json "${repo_root}/build/BENCH_reorg_stress.json"
 
+echo "=== CI stage 1c: flat snapshot + parallel commit gate ==="
+"${repo_root}/build/bench/bench_flat_state" --json "${repo_root}/build/BENCH_flat_state.json"
+
 if [[ "${skip_asan}" == 0 ]]; then
   echo "=== CI stage 2: AddressSanitizer build + tests ==="
   cmake -S "${repo_root}" -B "${repo_root}/build-asan" -DFRN_SANITIZE=address >/dev/null
@@ -38,6 +44,13 @@ fi
 if [[ "${skip_tsan}" == 0 ]]; then
   echo "=== CI stage 3: ThreadSanitizer concurrency subset ==="
   "${repo_root}/tools/run_tsan.sh"
+fi
+
+if [[ "${skip_ubsan}" == 0 ]]; then
+  echo "=== CI stage 4: UndefinedBehaviorSanitizer build + tests ==="
+  cmake -S "${repo_root}" -B "${repo_root}/build-ubsan" -DFRN_SANITIZE=undefined >/dev/null
+  cmake --build "${repo_root}/build-ubsan" -j"${jobs}"
+  (cd "${repo_root}/build-ubsan" && ctest --output-on-failure -j"${jobs}")
 fi
 
 echo "CI green."

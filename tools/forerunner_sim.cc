@@ -3,7 +3,8 @@
 // Usage:
 //   forerunner_sim run [--scenario L1] [--strategy forerunner|baseline|
 //                       perfect|perfect-multi] [--duration SECONDS]
-//                      [--fork-depth N] [--record FILE] [--trace-out FILE]
+//                      [--fork-depth N] [--flat 0|1] [--commit-workers N]
+//                      [--record FILE] [--trace-out FILE]
 //                      [--stats-out FILE] [--trace-sample RATE]
 //   forerunner_sim replay --from FILE [--strategy ...] [--trace-out FILE]
 //                         [--stats-out FILE]
@@ -15,7 +16,10 @@
 // --trace-out captures the transaction-lifecycle spans as Chrome trace_event
 // JSON (load it in chrome://tracing or feed it to tools/trace_summary.py);
 // --stats-out writes the strategy node's stats plus the global metrics
-// registry snapshot.
+// registry snapshot. --flat 1 enables the flat snapshot state layer and
+// --commit-workers N the parallel trie commit on the strategy node only, so
+// the "roots consistent" line doubles as a flat-on vs flat-off identity check
+// against the trie-backed baseline.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -59,9 +63,11 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  forerunner_sim run [--scenario L1] [--strategy forerunner] "
-               "[--duration SEC] [--fork-depth N] [--record FILE] "
+               "[--duration SEC] [--fork-depth N] [--flat 0|1] "
+               "[--commit-workers N] [--record FILE] "
                "[--trace-out FILE] [--stats-out FILE] [--trace-sample RATE]\n"
                "  forerunner_sim replay --from FILE [--strategy forerunner] "
+               "[--flat 0|1] [--commit-workers N] "
                "[--trace-out FILE] [--stats-out FILE]\n"
                "  forerunner_sim scenarios\n");
   return 2;
@@ -108,6 +114,8 @@ int main(int argc, char** argv) {
   double trace_sample = 1.0;
   double duration = 0;
   size_t fork_depth = 0;
+  bool flat_enabled = false;
+  size_t commit_workers = 0;
   for (int i = 2; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     std::string value = argv[i + 1];
@@ -119,6 +127,10 @@ int main(int argc, char** argv) {
       duration = std::stod(value);
     } else if (flag == "--fork-depth") {
       fork_depth = static_cast<size_t>(std::stoul(value));
+    } else if (flag == "--flat") {
+      flat_enabled = value != "0";
+    } else if (flag == "--commit-workers") {
+      commit_workers = static_cast<size_t>(std::stoul(value));
     } else if (flag == "--record") {
       record_path = value;
     } else if (flag == "--from") {
@@ -177,8 +189,13 @@ int main(int argc, char** argv) {
           std::max(options.chain.max_reorg_depth, cfg.dice.max_fork_depth);
       return options;
     };
+    NodeOptions strategy_options = make_options(strategy);
+    strategy_options.flat.enabled = flat_enabled;
+    if (commit_workers > 0) {
+      strategy_options.chain.commit_workers = commit_workers;
+    }
     Node baseline(make_options(ExecStrategy::kBaseline), genesis);
-    Node node(make_options(strategy), genesis);
+    Node node(strategy_options, genesis);
     SimReport report = sim.Run({&baseline, &node}, cfg.name);
     PrintSummary(report, 1);
     if (!record_path.empty()) {
@@ -219,8 +236,13 @@ int main(int argc, char** argv) {
       options.predictor.mean_block_interval = cfg.dice.mean_block_interval;
       return options;
     };
+    NodeOptions strategy_options = make_options(strategy);
+    strategy_options.flat.enabled = flat_enabled;
+    if (commit_workers > 0) {
+      strategy_options.chain.commit_workers = commit_workers;
+    }
     Node baseline(make_options(ExecStrategy::kBaseline), genesis);
-    Node node(make_options(strategy), genesis);
+    Node node(strategy_options, genesis);
     SimReport report = ReplayRecording(recording, {&baseline, &node});
     PrintSummary(report, 1);
     bool obs_ok = WriteObservability(trace_out, stats_out, node);
