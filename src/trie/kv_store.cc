@@ -1,6 +1,6 @@
 #include "src/trie/kv_store.h"
 
-#include <mutex>
+#include "src/common/clock.h"
 
 namespace frn {
 
@@ -18,8 +18,9 @@ thread_local KvStore::StagedWrites* tls_staged = nullptr;
 }  // namespace
 
 void SpinFor(std::chrono::nanoseconds duration) {
-  auto end = std::chrono::steady_clock::now() + duration;
-  while (std::chrono::steady_clock::now() < end) {
+  const double seconds = std::chrono::duration<double>(duration).count();
+  Stopwatch watch;
+  while (watch.ElapsedSeconds() < seconds) {
     // Busy-wait: the cost must land on the calling thread's wall clock.
   }
 }
@@ -55,7 +56,7 @@ std::optional<Bytes> KvStore::Get(const Hash& key) {
   }
   std::optional<Bytes> value;
   {
-    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    ReaderLock lock(data_mutex_);
     auto it = data_.find(key);
     if (it == data_.end()) {
       return std::nullopt;
@@ -103,7 +104,7 @@ void KvStore::Put(const Hash& key, Bytes value) {
     return;
   }
   {
-    std::unique_lock<std::shared_mutex> lock(data_mutex_);
+    MutexLock lock(data_mutex_);
     data_[key] = std::move(value);
   }
   Touch(key);
@@ -114,7 +115,7 @@ void KvStore::ApplyStaged(StagedWrites&& staged) {
     return;
   }
   {
-    std::unique_lock<std::shared_mutex> lock(data_mutex_);
+    MutexLock lock(data_mutex_);
     for (auto& [key, value] : staged.blobs) {
       data_[key] = std::move(value);
     }
@@ -127,7 +128,7 @@ void KvStore::ApplyStaged(StagedWrites&& staged) {
 }
 
 bool KvStore::Contains(const Hash& key) const {
-  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  ReaderLock lock(data_mutex_);
   return data_.contains(key);
 }
 
@@ -135,13 +136,13 @@ void KvStore::Warm(const Hash& key) { Touch(key); }
 
 bool KvStore::IsHot(const Hash& key) const {
   HotShard& shard = ShardFor(key);
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  ReaderLock lock(shard.mutex);
   return shard.keys.contains(key);
 }
 
 void KvStore::CoolAll() {
   for (HotShard& shard : hot_) {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.keys.clear();
   }
   hot_count_.store(0, std::memory_order_relaxed);
@@ -169,14 +170,14 @@ void KvStore::ResetStats() {
 size_t KvStore::hot_size() const {
   size_t total = 0;
   for (const HotShard& shard : hot_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    ReaderLock lock(shard.mutex);
     total += shard.keys.size();
   }
   return total;
 }
 
 size_t KvStore::size() const {
-  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  ReaderLock lock(data_mutex_);
   return data_.size();
 }
 
@@ -187,7 +188,7 @@ void KvStore::Touch(const Hash& key) {
     // trigger eviction: commits rewrite content-identical node blobs and the
     // prefetcher re-warms live paths constantly, and either one hitting the
     // capacity check while already hot would wipe the entire hot set.
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    ReaderLock lock(shard.mutex);
     if (shard.keys.contains(key)) {
       return;
     }
@@ -203,7 +204,7 @@ void KvStore::Touch(const Hash& key) {
       std::max<size_t>(1, options_.hot_set_capacity)) {
     CoolAll();
   }
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (shard.keys.insert(key).second) {
     hot_count_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -10,7 +10,9 @@
 // content-addressed code blob). The blob map is guarded by a shared mutex
 // (shared for Get/Contains, exclusive for Put); the hot set is sharded by key
 // so worker threads touching disjoint trie paths rarely contend; statistics
-// are atomics.
+// are atomics. Lock discipline is machine-checked: every guarded member
+// carries FRN_GUARDED_BY and a clang -Wthread-safety build rejects unguarded
+// access (see src/common/sync.h and DESIGN.md §10).
 #ifndef SRC_TRIE_KV_STORE_H_
 #define SRC_TRIE_KV_STORE_H_
 
@@ -19,12 +21,12 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/common/types.h"
 
 namespace frn {
@@ -142,16 +144,16 @@ class KvStore {
   // entries stay hot).
   static constexpr size_t kHotShards = 16;
   struct HotShard {
-    mutable std::shared_mutex mutex;
-    std::unordered_set<Hash, HashHasher> keys;
+    mutable SharedMutex mutex;
+    std::unordered_set<Hash, HashHasher> keys FRN_GUARDED_BY(mutex);
   };
 
   HotShard& ShardFor(const Hash& key) const;
   void Touch(const Hash& key);
 
   Options options_;
-  mutable std::shared_mutex data_mutex_;
-  std::unordered_map<Hash, Bytes, HashHasher> data_;
+  mutable SharedMutex data_mutex_;
+  std::unordered_map<Hash, Bytes, HashHasher> data_ FRN_GUARDED_BY(data_mutex_);
   mutable std::array<HotShard, kHotShards> hot_;
   // Approximate aggregate hot-set occupancy (drives wholesale eviction).
   std::atomic<size_t> hot_count_{0};
