@@ -16,10 +16,10 @@ CommitPool::CommitPool(size_t workers) : workers_(std::max<size_t>(1, workers)) 
 
 CommitPool::~CommitPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -35,13 +35,15 @@ void CommitPool::Run(size_t n_jobs, const std::function<void(size_t)>& fn) {
     }
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   fn_ = &fn;
   n_jobs_ = n_jobs;
   done_jobs_ = 0;
   ++batch_seq_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [&] { return done_jobs_ == n_jobs_; });
+  work_cv_.NotifyAll();
+  while (done_jobs_ != n_jobs_) {
+    done_cv_.Wait(mutex_);
+  }
   // Retire the batch while still holding the mutex (same reasoning as
   // SpecPool): a worker whose stripe was empty may only now wake from the
   // batch-start notify, and its wait predicate reads fn_ under the lock.
@@ -51,28 +53,33 @@ void CommitPool::Run(size_t n_jobs, const std::function<void(size_t)>& fn) {
 
 void CommitPool::WorkerLoop(size_t thread_index) {
   size_t seen_batch = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || (batch_seq_ != seen_batch && fn_ != nullptr);
-    });
-    if (shutdown_) {
-      return;
+    // The fn/n_jobs handoff is copied out under the lock; job execution runs
+    // unlocked (jobs are mutually independent by construction).
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n_jobs = 0;
+    {
+      MutexLock lock(mutex_);
+      while (!shutdown_ && !(batch_seq_ != seen_batch && fn_ != nullptr)) {
+        work_cv_.Wait(mutex_);
+      }
+      if (shutdown_) {
+        return;
+      }
+      seen_batch = batch_seq_;
+      fn = fn_;
+      n_jobs = n_jobs_;
     }
-    seen_batch = batch_seq_;
-    const std::function<void(size_t)>* fn = fn_;
-    size_t n_jobs = n_jobs_;
-    lock.unlock();
     // Static stripe: disjoint job indices per worker.
     size_t done = 0;
     for (size_t j = thread_index; j < n_jobs; j += workers_) {
       (*fn)(j);
       ++done;
     }
-    lock.lock();
+    MutexLock lock(mutex_);
     done_jobs_ += done;
     if (done_jobs_ == n_jobs) {
-      done_cv_.notify_one();
+      done_cv_.NotifyOne();
     }
   }
 }

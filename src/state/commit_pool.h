@@ -12,11 +12,11 @@
 #ifndef SRC_STATE_COMMIT_POOL_H_
 #define SRC_STATE_COMMIT_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace frn {
 
@@ -38,14 +38,19 @@ class CommitPool {
 
   size_t workers_;
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers: a batch (or shutdown) is ready
-  std::condition_variable done_cv_;  // coordinator: the batch drained
-  bool shutdown_ = false;
-  const std::function<void(size_t)>* fn_ = nullptr;
-  size_t n_jobs_ = 0;
-  size_t batch_seq_ = 0;  // bumped per batch; wakes the workers
-  size_t done_jobs_ = 0;
+  // Batch handoff state. Everything below is guarded by the batch mutex —
+  // including the retirement writes (fn_ = nullptr) at the end of Run(): an
+  // empty-stripe worker may wake from the batch-start notify only after the
+  // batch drained, and its wait predicate reads fn_ under this lock. A clang
+  // -Wthread-safety build rejects the unguarded clear that raced here before.
+  Mutex mutex_;
+  CondVar work_cv_;  // workers: a batch (or shutdown) is ready
+  CondVar done_cv_;  // coordinator: the batch drained
+  bool shutdown_ FRN_GUARDED_BY(mutex_) = false;
+  const std::function<void(size_t)>* fn_ FRN_GUARDED_BY(mutex_) = nullptr;
+  size_t n_jobs_ FRN_GUARDED_BY(mutex_) = 0;
+  size_t batch_seq_ FRN_GUARDED_BY(mutex_) = 0;  // bumped per batch; wakes the workers
+  size_t done_jobs_ FRN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace frn

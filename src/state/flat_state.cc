@@ -1,7 +1,5 @@
 #include "src/state/flat_state.h"
 
-#include <mutex>
-
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
 
@@ -11,17 +9,17 @@ FlatState::FlatState(size_t max_layers)
     : max_layers_(std::max<size_t>(1, max_layers)), root_(Mpt::EmptyRoot()) {}
 
 Hash FlatState::root() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return root_;
 }
 
 bool FlatState::Covers(const Hash& root) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return valid_ && root == root_;
 }
 
 std::optional<Account> FlatState::GetAccount(const Address& addr) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   auto it = accounts_.find(addr);
   if (it == accounts_.end()) {
     return std::nullopt;
@@ -30,7 +28,7 @@ std::optional<Account> FlatState::GetAccount(const Address& addr) const {
 }
 
 U256 FlatState::GetStorage(const Address& addr, const U256& key) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   auto it = storage_.find(StateSlotKey{addr, key});
   if (it == storage_.end()) {
     return U256{};
@@ -58,7 +56,7 @@ void FlatState::Apply(const Hash& parent_root, const Hash& new_root,
   static Gauge* diff_layers = MetricsRegistry::Global().GetGauge("flat.diff_layers");
   TraceSpan span(&TraceCollector::Global(), "state", "flat.apply", apply_seconds);
 
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!valid_) {
     return;
   }
@@ -118,7 +116,7 @@ void FlatState::Apply(const Hash& parent_root, const Hash& new_root,
 bool FlatState::PopLayer() {
   static Counter* pops = MetricsRegistry::Global().GetCounter("flat.pops");
   static Gauge* diff_layers = MetricsRegistry::Global().GetGauge("flat.diff_layers");
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!valid_ || layers_.empty()) {
     return false;
   }
@@ -151,12 +149,12 @@ bool FlatState::PopLayer() {
 }
 
 size_t FlatState::layers() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return layers_.size();
 }
 
 FlatStateStats FlatState::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   return stats_;
 }
 

@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/state/statedb.h"
 
 namespace frn {
@@ -85,16 +85,20 @@ class FlatState {
     std::vector<std::pair<StateSlotKey, std::optional<U256>>> slots;
   };
 
-  void InvalidateLocked();
+  void InvalidateLocked() FRN_REQUIRES(mutex_);
 
-  mutable std::shared_mutex mutex_;
-  size_t max_layers_;
-  bool valid_ = true;
-  Hash root_;
-  std::unordered_map<Address, Account, AddressHasher> accounts_;
-  std::unordered_map<StateSlotKey, U256, StateSlotKeyHasher> storage_;
-  std::deque<DiffLayer> layers_;  // oldest first; back() undoes the last Apply
-  FlatStateStats stats_;
+  mutable SharedMutex mutex_;
+  const size_t max_layers_;
+  bool valid_ FRN_GUARDED_BY(mutex_) = true;
+  Hash root_ FRN_GUARDED_BY(mutex_);
+  std::unordered_map<Address, Account, AddressHasher> accounts_ FRN_GUARDED_BY(mutex_);
+  std::unordered_map<StateSlotKey, U256, StateSlotKeyHasher> storage_ FRN_GUARDED_BY(mutex_);
+  // Oldest first; back() undoes the last Apply. The deque is written only by
+  // the coordinator (Apply/PopLayer) but readers concurrently query layers()
+  // and stats(), hence the shared-mutex guard rather than coordinator-private
+  // state — the exact reader-vs-writer race flat_state_test drives under TSan.
+  std::deque<DiffLayer> layers_ FRN_GUARDED_BY(mutex_);
+  FlatStateStats stats_ FRN_GUARDED_BY(mutex_);
 };
 
 }  // namespace frn

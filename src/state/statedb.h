@@ -10,10 +10,10 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/trie/trie.h"
 
 namespace frn {
@@ -80,10 +80,10 @@ class SharedStateCache {
   size_t storage_entries() const;
 
  private:
-  mutable std::shared_mutex mutex_;
-  Hash root_;
-  std::unordered_map<Address, Account, AddressHasher> accounts_;
-  std::unordered_map<StateSlotKey, U256, StateSlotKeyHasher> storage_;
+  mutable SharedMutex mutex_;
+  Hash root_ FRN_GUARDED_BY(mutex_);
+  std::unordered_map<Address, Account, AddressHasher> accounts_ FRN_GUARDED_BY(mutex_);
+  std::unordered_map<StateSlotKey, U256, StateSlotKeyHasher> storage_ FRN_GUARDED_BY(mutex_);
 };
 
 struct StateDbStats {
