@@ -39,18 +39,17 @@ SpecPool::SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers
 
 SpecPool::~SpecPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
 }
 
-void SpecPool::ExecuteJob(Speculator* speculator, size_t job_index) {
-  SpecJob& job = (*jobs_)[job_index];
-  SpecJobResult& result = (*results_)[job_index];
+void SpecPool::ExecuteJob(Speculator* speculator, SpecJob& job, SpecJobResult& result,
+                          size_t job_index) {
   static SecondsCounter* job_wall = MetricsRegistry::Global().GetSeconds("spec.job_wall_seconds");
   static Counter* jobs_counter = MetricsRegistry::Global().GetCounter("spec.jobs");
   static Counter* futures_counter = MetricsRegistry::Global().GetCounter("spec.futures");
@@ -101,23 +100,22 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
 
   if (physical_ == 1) {
     // Inline path: identical operation order to the pre-pool pipeline. No
-    // executor threads exist, so the batch pointers are coordinator-private.
-    jobs_ = &jobs;
-    results_ = &results;
+    // executor threads exist, so the batch never routes through the guarded
+    // handoff members at all — the vectors stay coordinator-private locals.
     Speculator speculator(trie_, options_, flat_);
     for (size_t j = 0; j < jobs.size(); ++j) {
-      ExecuteJob(&speculator, j);
+      ExecuteJob(&speculator, jobs[j], results[j], j);
     }
-    jobs_ = nullptr;
-    results_ = nullptr;
   } else {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     jobs_ = &jobs;
     results_ = &results;
     done_jobs_ = 0;
     ++batch_seq_;
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return done_jobs_ == jobs.size(); });
+    work_cv_.NotifyAll();
+    while (done_jobs_ != jobs.size()) {
+      done_cv_.Wait(mutex_);
+    }
     // Retire the batch while still holding the mutex: an executor whose
     // stripe was empty may wake from the batch-start notify only now, and its
     // wait predicate reads these pointers under the lock — clearing them
@@ -167,32 +165,40 @@ void SpecPool::WorkerLoop(size_t thread_index) {
   // executors, only the (reader-safe) trie/store underneath.
   Speculator speculator(trie_, options_, flat_);
   size_t seen_batch = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    // Waking requires a *live* batch: an executor whose stripe was empty can
-    // observe the next sequence number only once jobs_ is installed again
-    // (the coordinator may have retired a small batch without ever needing
-    // this executor to wake).
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || (batch_seq_ != seen_batch && jobs_ != nullptr);
-    });
-    if (shutdown_) {
-      return;
+    // The batch vectors are copied out of the guarded members under the lock;
+    // job execution then runs unlocked against disjoint slots (static stripe,
+    // no claim counter), with the done_jobs_ barrier publishing the results
+    // back to the coordinator.
+    std::vector<SpecJob>* jobs = nullptr;
+    std::vector<SpecJobResult>* results = nullptr;
+    size_t n_jobs = 0;
+    {
+      MutexLock lock(mutex_);
+      // Waking requires a *live* batch: an executor whose stripe was empty
+      // can observe the next sequence number only once jobs_ is installed
+      // again (the coordinator may have retired a small batch without ever
+      // needing this executor to wake).
+      while (!shutdown_ && !(batch_seq_ != seen_batch && jobs_ != nullptr)) {
+        work_cv_.Wait(mutex_);
+      }
+      if (shutdown_) {
+        return;
+      }
+      seen_batch = batch_seq_;
+      jobs = jobs_;
+      results = results_;
+      n_jobs = jobs->size();
     }
-    seen_batch = batch_seq_;
-    size_t n_jobs = jobs_->size();
-    lock.unlock();
-    // Static stripe over the physical executors: disjoint result slots, no
-    // shared claim counter to contend on.
     size_t done = 0;
     for (size_t j = thread_index; j < n_jobs; j += physical_) {
-      ExecuteJob(&speculator, j);
+      ExecuteJob(&speculator, (*jobs)[j], (*results)[j], j);
       ++done;
     }
-    lock.lock();
+    MutexLock lock(mutex_);
     done_jobs_ += done;
     if (done_jobs_ == n_jobs) {
-      done_cv_.notify_one();
+      done_cv_.NotifyOne();
     }
   }
 }

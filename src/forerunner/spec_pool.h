@@ -17,11 +17,10 @@
 #ifndef SRC_FORERUNNER_SPEC_POOL_H_
 #define SRC_FORERUNNER_SPEC_POOL_H_
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/forerunner/speculator.h"
 
 namespace frn {
@@ -92,9 +91,11 @@ class SpecPool {
 
  private:
   void WorkerLoop(size_t thread_index);
-  // Executes job `job_index` of the current batch into its result slot,
-  // measuring modeled cost and store traffic. Called without the pool lock.
-  void ExecuteJob(Speculator* speculator, size_t job_index);
+  // Executes one job into its result slot, measuring modeled cost and store
+  // traffic. Called without the pool lock: the caller obtained `job`/`result`
+  // from the batch vectors while holding it (executors) or owns them outright
+  // (the inline path), and slot disjointness does the rest.
+  void ExecuteJob(Speculator* speculator, SpecJob& job, SpecJobResult& result, size_t job_index);
 
   Mpt* trie_;
   Speculator::Options options_;
@@ -103,15 +104,22 @@ class SpecPool {
   size_t physical_;  // executor threads actually running jobs
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers: a batch (or shutdown) is ready
-  std::condition_variable done_cv_;  // coordinator: the batch drained
-  bool shutdown_ = false;
-  std::vector<SpecJob>* jobs_ = nullptr;
-  std::vector<SpecJobResult>* results_ = nullptr;
-  size_t batch_seq_ = 0;  // bumped per batch; wakes the workers
-  size_t done_jobs_ = 0;
+  // Batch handoff state, all guarded by the batch mutex. Retirement (the
+  // jobs_/results_ = nullptr writes at the end of RunBatch) must also happen
+  // under it: an empty-stripe executor can wake from the batch-start notify
+  // arbitrarily late, and its wait predicate reads these pointers under the
+  // lock — the unguarded clear that used to race here (PR 1's
+  // batch-retirement UAF) is now a clang -Wthread-safety build break.
+  Mutex mutex_;
+  CondVar work_cv_;  // workers: a batch (or shutdown) is ready
+  CondVar done_cv_;  // coordinator: the batch drained
+  bool shutdown_ FRN_GUARDED_BY(mutex_) = false;
+  std::vector<SpecJob>* jobs_ FRN_GUARDED_BY(mutex_) = nullptr;
+  std::vector<SpecJobResult>* results_ FRN_GUARDED_BY(mutex_) = nullptr;
+  size_t batch_seq_ FRN_GUARDED_BY(mutex_) = 0;  // bumped per batch; wakes the workers
+  size_t done_jobs_ FRN_GUARDED_BY(mutex_) = 0;
 
+  // Coordinator-only (written between batches, no executor ever touches them).
   double last_batch_wall_seconds_ = 0;
   std::vector<SpecWorkerStats> worker_stats_;
 };
