@@ -215,7 +215,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -224,7 +224,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 SecondsCounter* MetricsRegistry::GetSeconds(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = seconds_[name];
   if (slot == nullptr) {
     slot = std::make_unique<SecondsCounter>();
@@ -233,7 +233,7 @@ SecondsCounter* MetricsRegistry::GetSeconds(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -242,7 +242,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 ExpHistogram* MetricsRegistry::GetHistogram(const std::string& name, ExpHistogramOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<ExpHistogram>(options);
@@ -251,7 +251,7 @@ ExpHistogram* MetricsRegistry::GetHistogram(const std::string& name, ExpHistogra
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) {
     snap.counters[name] = c->value();
@@ -269,7 +269,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) {
     c->Reset();
   }

@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/obs/json.h"
 
 namespace frn {
@@ -190,11 +190,14 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<SecondsCounter>> seconds_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<ExpHistogram>> histograms_;
+  // The maps are guarded; the instruments they own are not — a returned
+  // Counter* is touched lock-free (sharded atomics) long after Get* returns,
+  // and stays valid because instruments are never removed.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ FRN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<SecondsCounter>> seconds_ FRN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FRN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ExpHistogram>> histograms_ FRN_GUARDED_BY(mu_);
 };
 
 }  // namespace frn

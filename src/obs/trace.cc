@@ -42,15 +42,15 @@ TraceCollector& TraceCollector::Global() {
 }
 
 void TraceCollector::Enable(Options options) {
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   sample_rate_ = std::min(1.0, std::max(0.0, options.sample_rate));
   max_events_per_thread_ = options.max_events_per_thread;
   for (auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
     buffer->dropped = 0;
   }
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_.Restart();
   next_id_.store(1, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
 }
@@ -69,10 +69,7 @@ bool TraceCollector::SampleTx(uint64_t tx_id) const {
   return u < sample_rate_;
 }
 
-double TraceCollector::NowUs() const {
-  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
+double TraceCollector::NowUs() const { return epoch_.ElapsedSeconds() * 1e6; }
 
 uint64_t TraceCollector::FreshGeneration() {
   // Globally unique across collectors and Clear() epochs, so a cached buffer
@@ -92,7 +89,7 @@ TraceCollector::ThreadBuffer* TraceCollector::BufferForThisThread() {
   if (cache.generation == generation) {
     return cache.buffer;
   }
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = buffers_.size() + 1;  // tids assigned in registration order
   ThreadBuffer* raw = buffer.get();
@@ -103,7 +100,7 @@ TraceCollector::ThreadBuffer* TraceCollector::BufferForThisThread() {
 
 void TraceCollector::Emit(TraceEventRec event) {
   ThreadBuffer* buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   if (buffer->events.size() >= max_events_per_thread_) {
     ++buffer->dropped;
     return;
@@ -113,27 +110,27 @@ void TraceCollector::Emit(TraceEventRec event) {
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   buffers_.clear();
   generation_.store(FreshGeneration(), std::memory_order_release);
   next_id_.store(1, std::memory_order_relaxed);
 }
 
 size_t TraceCollector::event_count() const {
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     total += buffer->events.size();
   }
   return total;
 }
 
 size_t TraceCollector::dropped_events() const {
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     total += buffer->dropped;
   }
   return total;
@@ -143,10 +140,10 @@ JsonValue TraceCollector::ToChromeJson() const {
   std::vector<TraceEventRec> events;
   size_t thread_count = 0;
   {
-    std::lock_guard<std::mutex> lock(buffers_mu_);
+    MutexLock lock(buffers_mu_);
     thread_count = buffers_.size();
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(buffer->mu);
       events.insert(events.end(), buffer->events.begin(), buffer->events.end());
     }
   }

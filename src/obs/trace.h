@@ -20,11 +20,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/sync.h"
 #include "src/obs/json.h"
 #include "src/obs/registry.h"
 
@@ -129,10 +129,10 @@ class TraceCollector {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;
-    uint64_t tid = 0;
-    std::vector<TraceEventRec> events;
-    size_t dropped = 0;
+    Mutex mu;
+    uint64_t tid = 0;  // written once before publication, read-only after
+    std::vector<TraceEventRec> events FRN_GUARDED_BY(mu);
+    size_t dropped FRN_GUARDED_BY(mu) = 0;
   };
 
   static uint64_t FreshGeneration();
@@ -141,12 +141,18 @@ class TraceCollector {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> generation_;
+  // Deliberately unguarded: written only by Enable(), which per its contract
+  // must not race in-flight Emit()/span sites (callers quiesce workers
+  // first), and read on every hot span site — guarding them would put a lock
+  // on the disabled fast path. TSan remains the checker for this contract.
   double sample_rate_ = 1.0;
   size_t max_events_per_thread_ = 1u << 20;
-  std::chrono::steady_clock::time_point epoch_{};
+  // Capture epoch; NowUs() is the stopwatch reading (common/clock.h is the
+  // repo's one home for raw std::chrono clock types).
+  Stopwatch epoch_;
 
-  mutable std::mutex buffers_mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex buffers_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ FRN_GUARDED_BY(buffers_mu_);
 };
 
 // RAII span. Construct before the timed region; the destructor stamps the
