@@ -65,7 +65,10 @@ bool Accelerator::TryCommitRecord(StateDb* state, const BlockContext& block,
       }
       state->AddBalance(t.to, t.amount);
     }
-    for (const auto& [addr, key, value] : record.storage_writes) {
+    // FutureRecord::storage_writes is a std::vector (replay order preserved);
+    // the linter's global name pass collides with trace_builder.h's unordered
+    // member of the same name.
+    for (const auto& [addr, key, value] : record.storage_writes) {  // frn:allow(unordered-iter)
       state->SetStorage(addr, key, value);
     }
   }

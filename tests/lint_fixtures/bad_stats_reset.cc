@@ -1,0 +1,29 @@
+// Fixture for the stats-reset-in-scope rule: per the kv_store.h contract a
+// StatsScope sink and the store's global totals observe the same events;
+// calling ResetStats() inside a live scope tears the two views apart.
+#include "src/trie/kv_store.h"
+
+namespace frn_fixture {
+
+void TornViews(frn::KvStore& store, frn::KvStoreStats* sink) {
+  frn::KvStore::StatsScope scope(sink);
+  store.Get(frn::Hash{});
+  store.ResetStats();  // [expect:stats-reset-in-scope]
+}
+
+void FineAfterScopeCloses(frn::KvStore& store, frn::KvStoreStats* sink) {
+  {
+    frn::KvStore::StatsScope scope(sink);
+    store.Get(frn::Hash{});
+  }
+  store.ResetStats();  // the guard is gone: both views already settled
+}
+
+// Suppressed (e.g. a test asserting the torn-view behavior itself) — must
+// NOT appear in the findings:
+void DeliberatelyTorn(frn::KvStore& store, frn::KvStoreStats* sink) {
+  frn::KvStore::StatsScope scope(sink);
+  store.ResetStats();  // frn:allow(stats-reset-in-scope)
+}
+
+}  // namespace frn_fixture
