@@ -1,13 +1,34 @@
 #!/usr/bin/env bash
-# Single-entry CI gate, in the order that fails fastest:
-#   1. tier-1: default build + full ctest suite (build/)
-#   2. ASan build + full ctest suite (build-asan/)
-#   3. TSan concurrency subset via tools/run_tsan.sh (build-tsan/)
-#   4. UBSan build + full ctest suite (build-ubsan/)
-# Each stage uses its own build tree, so local incremental builds stay warm.
+# Single-entry CI gate. Stages, in the order that fails fastest:
+#
+#   lint            tools/lint.py --self-test (fixtures + clean-tree scan)
+#   format          check-only clang-format over the curated file list below
+#                   [skipped when clang-format is not installed]
+#   tier1           default build + full ctest suite (build/)
+#   reorg-gate      bench_reorg_stress determinism/consistency gate
+#   flat-gate       bench_flat_state equivalence gate
+#   thread-safety   clang build with -Wthread-safety -Werror=thread-safety
+#                   against the annotated wrappers in src/common/sync.h
+#                   [skipped when clang++ is not installed]
+#   clang-tidy      curated bugprone-*/concurrency-*/performance-* checks
+#                   (config in .clang-tidy) over the concurrency-heavy files
+#                   [skipped when clang-tidy is not installed]
+#   asan            AddressSanitizer build + full ctest suite (build-asan/)
+#   tsan            ThreadSanitizer concurrency subset via tools/run_tsan.sh
+#   ubsan           UBSan build + full ctest suite (build-ubsan/)
+#
+# Every stage runs even after a failure (the summary table at the end shows
+# all results); the script exits non-zero if any stage failed. Each build
+# flavor uses its own tree, so local incremental builds stay warm.
+#
+# The thread-safety stage is the machine check for the repo's lock
+# discipline: deleting a MutexLock from, say, KvStore::Touch or the SpecPool
+# batch retirement turns a latent race into a compile error there. On
+# machines without clang the annotations compile to nothing (see sync.h) and
+# the stage is skipped — TSan remains the dynamic backstop.
 #
 # Usage:  tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-ubsan]
-set -euo pipefail
+set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
@@ -23,34 +44,178 @@ for arg in "$@"; do
   esac
 done
 
-echo "=== CI stage 1: tier-1 build + tests ==="
-cmake -S "${repo_root}" -B "${repo_root}/build" >/dev/null
-cmake --build "${repo_root}/build" -j"${jobs}"
-(cd "${repo_root}/build" && ctest --output-on-failure -j"${jobs}")
+# Files held to .clang-format (scoped: the legacy tree is not reflowed
+# wholesale; files join this list as PRs touch them).
+format_files=(
+  src/common/sync.h
+  src/obs/registry.cc
+  src/trie/kv_store.cc
+  tests/lint_fixtures/bad_raii_temporary.cc
+  tests/lint_fixtures/bad_raw_clock.cc
+  tests/lint_fixtures/bad_raw_rand.cc
+  tests/lint_fixtures/bad_raw_sync.cc
+  tests/lint_fixtures/bad_stats_reset.cc
+  tests/lint_fixtures/bad_todo_tag.cc
+  tests/lint_fixtures/bad_unordered_iter.cc
+)
 
-echo "=== CI stage 1b: reorg stress gate ==="
-"${repo_root}/build/bench/bench_reorg_stress" --json "${repo_root}/build/BENCH_reorg_stress.json"
+# Concurrency-heavy translation units the clang-tidy stage covers.
+tidy_files=(
+  src/trie/kv_store.cc
+  src/state/statedb.cc
+  src/state/flat_state.cc
+  src/state/commit_pool.cc
+  src/forerunner/spec_pool.cc
+  src/obs/registry.cc
+  src/obs/trace.cc
+)
 
-echo "=== CI stage 1c: flat snapshot + parallel commit gate ==="
-"${repo_root}/build/bench/bench_flat_state" --json "${repo_root}/build/BENCH_flat_state.json"
+stage_names=()
+stage_results=()
+overall=0
+
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "=== CI stage: ${name} ==="
+  if "$@"; then
+    stage_names+=("${name}")
+    stage_results+=("PASS")
+  else
+    stage_names+=("${name}")
+    stage_results+=("FAIL")
+    overall=1
+    echo "--- stage ${name} FAILED (continuing) ---" >&2
+  fi
+}
+
+skip_stage() {
+  local name="$1" why="$2"
+  echo
+  echo "=== CI stage: ${name} — skipped (${why}) ==="
+  stage_names+=("${name}")
+  stage_results+=("SKIP: ${why}")
+}
+
+stage_lint() {
+  python3 "${repo_root}/tools/lint.py" --self-test
+}
+
+stage_format() {
+  local bad=0 f
+  for f in "${format_files[@]}"; do
+    if ! clang-format --dry-run --Werror "${repo_root}/${f}"; then
+      bad=1
+    fi
+  done
+  return "${bad}"
+}
+
+stage_tier1() {
+  cmake -S "${repo_root}" -B "${repo_root}/build" >/dev/null &&
+    cmake --build "${repo_root}/build" -j"${jobs}" &&
+    (cd "${repo_root}/build" && ctest --output-on-failure -j"${jobs}")
+}
+
+stage_reorg_gate() {
+  "${repo_root}/build/bench/bench_reorg_stress" --json "${repo_root}/build/BENCH_reorg_stress.json"
+}
+
+stage_flat_gate() {
+  "${repo_root}/build/bench/bench_flat_state" --json "${repo_root}/build/BENCH_flat_state.json"
+}
+
+stage_thread_safety() {
+  cmake -S "${repo_root}" -B "${repo_root}/build-clang" \
+    -DCMAKE_CXX_COMPILER=clang++ -DFRN_THREAD_SAFETY=ON >/dev/null &&
+    cmake --build "${repo_root}/build-clang" -j"${jobs}"
+}
+
+stage_clang_tidy() {
+  # Uses the clang build tree's compile commands when the thread-safety stage
+  # produced one (clang-tidy parses cleanest against clang flags), falling
+  # back to the default tree's export.
+  local cc_dir="${repo_root}/build-clang"
+  [[ -f "${cc_dir}/compile_commands.json" ]] || cc_dir="${repo_root}/build"
+  local bad=0 f
+  for f in "${tidy_files[@]}"; do
+    echo "--- clang-tidy: ${f}"
+    if ! clang-tidy -p "${cc_dir}" --quiet "${repo_root}/${f}"; then
+      bad=1
+    fi
+  done
+  return "${bad}"
+}
+
+stage_asan() {
+  cmake -S "${repo_root}" -B "${repo_root}/build-asan" -DFRN_SANITIZE=address >/dev/null &&
+    cmake --build "${repo_root}/build-asan" -j"${jobs}" &&
+    (cd "${repo_root}/build-asan" && ctest --output-on-failure -j"${jobs}")
+}
+
+stage_tsan() {
+  "${repo_root}/tools/run_tsan.sh"
+}
+
+stage_ubsan() {
+  cmake -S "${repo_root}" -B "${repo_root}/build-ubsan" -DFRN_SANITIZE=undefined >/dev/null &&
+    cmake --build "${repo_root}/build-ubsan" -j"${jobs}" &&
+    (cd "${repo_root}/build-ubsan" && ctest --output-on-failure -j"${jobs}")
+}
+
+run_stage lint stage_lint
+
+if command -v clang-format >/dev/null 2>&1; then
+  run_stage format stage_format
+else
+  skip_stage format "clang-format not installed"
+fi
+
+run_stage tier1 stage_tier1
+run_stage reorg-gate stage_reorg_gate
+run_stage flat-gate stage_flat_gate
+
+if command -v clang++ >/dev/null 2>&1; then
+  run_stage thread-safety stage_thread_safety
+else
+  skip_stage thread-safety "clang++ not installed (annotations are no-ops under GCC)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_stage clang-tidy stage_clang_tidy
+else
+  skip_stage clang-tidy "clang-tidy not installed"
+fi
 
 if [[ "${skip_asan}" == 0 ]]; then
-  echo "=== CI stage 2: AddressSanitizer build + tests ==="
-  cmake -S "${repo_root}" -B "${repo_root}/build-asan" -DFRN_SANITIZE=address >/dev/null
-  cmake --build "${repo_root}/build-asan" -j"${jobs}"
-  (cd "${repo_root}/build-asan" && ctest --output-on-failure -j"${jobs}")
+  run_stage asan stage_asan
+else
+  skip_stage asan "--skip-asan"
 fi
 
 if [[ "${skip_tsan}" == 0 ]]; then
-  echo "=== CI stage 3: ThreadSanitizer concurrency subset ==="
-  "${repo_root}/tools/run_tsan.sh"
+  run_stage tsan stage_tsan
+else
+  skip_stage tsan "--skip-tsan"
 fi
 
 if [[ "${skip_ubsan}" == 0 ]]; then
-  echo "=== CI stage 4: UndefinedBehaviorSanitizer build + tests ==="
-  cmake -S "${repo_root}" -B "${repo_root}/build-ubsan" -DFRN_SANITIZE=undefined >/dev/null
-  cmake --build "${repo_root}/build-ubsan" -j"${jobs}"
-  (cd "${repo_root}/build-ubsan" && ctest --output-on-failure -j"${jobs}")
+  run_stage ubsan stage_ubsan
+else
+  skip_stage ubsan "--skip-ubsan"
 fi
 
+echo
+echo "=== CI summary ==="
+printf '%-15s %s\n' "stage" "result"
+printf '%-15s %s\n' "-----" "------"
+for i in "${!stage_names[@]}"; do
+  printf '%-15s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+done
+
+if [[ "${overall}" != 0 ]]; then
+  echo "CI FAILED." >&2
+  exit 1
+fi
 echo "CI green."

@@ -10,6 +10,16 @@
 # threaded scenario). Pass --all to run the entire ctest suite under TSan
 # instead (slow).
 #
+# Division of labor with the clang -Wthread-safety stage (tools/ci.sh):
+# the annotated wrappers in src/common/sync.h prove *lock discipline* at
+# compile time — every FRN_GUARDED_BY field is touched under its mutex, on
+# every path, including ones no test exercises. TSan is the dynamic backstop
+# for what annotations cannot see: lock-free atomics protocols (the sharded
+# metrics counters, the tracer's enabled gate), fields with quiesced-writer
+# contracts that are deliberately unguarded (TraceCollector::sample_rate_),
+# and happens-before bugs between whole subsystems. Keep both green: neither
+# subsumes the other.
+#
 # Usage:  tools/run_tsan.sh [--all]
 set -euo pipefail
 
