@@ -1,11 +1,17 @@
-// Flat snapshot layer validation bench, two parts:
+// Versioned snapshot store validation bench, three parts:
 //
-//   scenario  — dataset L1 with a flat-disabled and a flat-enabled forerunner
-//               node fed identical traffic. Gates: bit-identical per-block
-//               roots (RequireConsistentRoots), identical counted execution
-//               records, the flat node serving committed-head reads from the
-//               flat maps (flat_hits > 0, zero invalidations), and at least a
-//               2x reduction in critical-path account-trie reads.
+//   scenario  — dataset L1 with a store-disabled and a store-enabled
+//               forerunner node fed identical traffic under mild fork churn.
+//               Gates: bit-identical per-block roots (RequireConsistentRoots),
+//               identical counted execution records, the versioned node
+//               serving committed-head reads from pinned snapshot handles
+//               (versioned_hits > 0, zero invalidations, versions sealed and
+//               retained), and at least a 2x reduction in critical-path
+//               account-trie reads.
+//
+//   no-fork   — the same dataset with fork churn off: on a reorg-free chain
+//               every view must open covered (view_active) and the store must
+//               never refuse a commit (invalidations == 0).
 //
 //   commit    — a synthetic many-account commit workload run with 1 commit
 //               worker vs a pool, on stores with the modeled 2us cold-read
@@ -21,7 +27,7 @@
 #include "bench/bench_util.h"
 #include "src/common/clock.h"
 #include "src/state/commit_pool.h"
-#include "src/state/flat_state.h"
+#include "src/state/versioned_state.h"
 
 using namespace frn;
 
@@ -31,15 +37,22 @@ constexpr size_t kCommitWorkers = 4;
 
 struct ScenarioResult {
   bool ok = true;
-  uint64_t flat_off_account_reads = 0;
-  uint64_t flat_on_account_reads = 0;
-  uint64_t flat_on_storage_reads = 0;
-  uint64_t flat_off_storage_reads = 0;
-  uint64_t flat_hits = 0;
-  uint64_t flat_misses = 0;
-  FlatStateStats flat;
+  uint64_t off_account_reads = 0;
+  uint64_t on_account_reads = 0;
+  uint64_t on_storage_reads = 0;
+  uint64_t off_storage_reads = 0;
+  uint64_t versioned_hits = 0;
+  uint64_t versioned_misses = 0;
+  VersionedStateStats versioned;
   uint64_t blocks = 0;
   uint64_t txs = 0;
+};
+
+struct NoForkResult {
+  bool ok = true;
+  uint64_t blocks = 0;
+  uint64_t invalidations = 0;
+  bool view_active = false;
 };
 
 bool SameRecords(const NodeRunStats& a, const NodeRunStats& b) {
@@ -59,19 +72,20 @@ bool SameRecords(const NodeRunStats& a, const NodeRunStats& b) {
 
 ScenarioResult RunScenarioPart() {
   ScenarioConfig cfg = ScenarioByName("L1");
-  // Mild fork churn so the flat layer's reorg pops are on the gated path too.
+  // Mild fork churn so the store's handle-swap rollbacks are gated too.
   cfg.dice.fork_rate = 0.2;
   cfg.dice.max_fork_depth = 2;
   // Counted statistics, not wall-clock availability, drive the gates.
-  NodeTweak flat_off = [](NodeOptions* o) { o->speculation_time_scale = 0; };
-  NodeTweak flat_on = [](NodeOptions* o) {
+  NodeTweak versioned_off = [](NodeOptions* o) { o->speculation_time_scale = 0; };
+  NodeTweak versioned_on = [](NodeOptions* o) {
     o->speculation_time_scale = 0;
-    o->flat.enabled = true;
+    o->state.versioned = true;
     o->chain.commit_workers = kCommitWorkers;
   };
   ScenarioRun run = RunScenarioWithTweaks(
       cfg,
-      {{ExecStrategy::kForerunner, flat_off}, {ExecStrategy::kForerunner, flat_on}},
+      {{ExecStrategy::kForerunner, versioned_off},
+       {ExecStrategy::kForerunner, versioned_on}},
       /*duration_override=*/60);
   RequireConsistentRoots(run.report);
 
@@ -80,40 +94,69 @@ ScenarioResult RunScenarioPart() {
   ScenarioResult r;
   r.blocks = run.report.blocks;
   r.txs = run.report.txs_packed;
-  r.flat_off_account_reads = off.chain_state.account_trie_reads;
-  r.flat_on_account_reads = on.chain_state.account_trie_reads;
-  r.flat_off_storage_reads = off.chain_state.storage_trie_reads;
-  r.flat_on_storage_reads = on.chain_state.storage_trie_reads;
-  r.flat_hits = on.chain_state.flat_hits;
-  r.flat_misses = on.chain_state.flat_misses;
-  r.flat = on.flat;
+  r.off_account_reads = off.chain_state.account_trie_reads;
+  r.on_account_reads = on.chain_state.account_trie_reads;
+  r.off_storage_reads = off.chain_state.storage_trie_reads;
+  r.on_storage_reads = on.chain_state.storage_trie_reads;
+  r.versioned_hits = on.chain_state.versioned_hits;
+  r.versioned_misses = on.chain_state.versioned_misses;
+  r.versioned = on.versioned;
 
-  if (!on.flat_enabled || off.flat_enabled) {
-    std::printf("FAIL: flat enablement not wired through the node options\n");
+  if (!on.versioned_enabled || off.versioned_enabled) {
+    std::printf("FAIL: versioned enablement not wired through the node options\n");
     r.ok = false;
   }
   if (!SameRecords(off, on)) {
-    std::printf("FAIL: flat-enabled node diverged from flat-disabled records\n");
+    std::printf("FAIL: versioned node diverged from store-disabled records\n");
     r.ok = false;
   }
-  if (r.flat_hits == 0) {
-    std::printf("FAIL: flat layer never served a committed-head read\n");
+  if (r.versioned_hits == 0) {
+    std::printf("FAIL: versioned store never served a committed-head read\n");
     r.ok = false;
   }
-  if (r.flat.invalidations != 0) {
-    std::printf("FAIL: flat layer hit the parent-mismatch safety valve\n");
+  if (r.versioned.invalidations != 0) {
+    std::printf("FAIL: versioned store refused a commit over an uncovered parent\n");
     r.ok = false;
   }
-  if (r.flat.applies == 0 || r.flat.layers == 0) {
-    std::printf("FAIL: no diff layers were applied\n");
+  if (r.versioned.commits == 0 || r.versioned.seals == 0 || r.versioned.retained == 0) {
+    std::printf("FAIL: no versions were sealed/retained\n");
     r.ok = false;
   }
   // The tentpole gate: committed-head account resolution must shift from trie
-  // walks to the flat maps, at least halving critical-path account-trie reads.
-  if (r.flat_on_account_reads * 2 > r.flat_off_account_reads) {
+  // walks to the version maps, at least halving critical-path account-trie
+  // reads.
+  if (r.on_account_reads * 2 > r.off_account_reads) {
     std::printf("FAIL: account trie reads %llu -> %llu is under the 2x gate\n",
-                static_cast<unsigned long long>(r.flat_off_account_reads),
-                static_cast<unsigned long long>(r.flat_on_account_reads));
+                static_cast<unsigned long long>(r.off_account_reads),
+                static_cast<unsigned long long>(r.on_account_reads));
+    r.ok = false;
+  }
+  return r;
+}
+
+NoForkResult RunNoForkPart() {
+  ScenarioConfig cfg = ScenarioByName("L1");
+  cfg.dice.fork_rate = 0;  // reorg-free chain: coverage must never lapse
+  NodeTweak versioned_on = [](NodeOptions* o) {
+    o->speculation_time_scale = 0;
+    o->state.versioned = true;
+  };
+  ScenarioRun run = RunScenarioWithTweaks(
+      cfg, {{ExecStrategy::kForerunner, versioned_on}}, /*duration_override=*/30);
+  RequireConsistentRoots(run.report);
+
+  const NodeRunStats& on = run.report.nodes[1];
+  NoForkResult r;
+  r.blocks = run.report.blocks;
+  r.invalidations = on.versioned.invalidations;
+  r.view_active = on.state_view_active;
+  if (r.invalidations != 0) {
+    std::printf("FAIL: %llu invalidations on a no-fork chain\n",
+                static_cast<unsigned long long>(r.invalidations));
+    r.ok = false;
+  }
+  if (!r.view_active) {
+    std::printf("FAIL: head view not pinned to a snapshot handle at end of run\n");
     r.ok = false;
   }
   return r;
@@ -141,12 +184,12 @@ CommitConfigRun RunCommitConfig(size_t workers, size_t n_accounts, size_t n_roun
   KvStore store;  // modeled 2us cold-read latency: this is what parallelism hides
   Mpt trie(&store);
   CommitPool pool(workers);
-  FlatState flat(4);
+  VersionedState versioned(4);
   Hash root = Mpt::EmptyRoot();
   {
     // Base state: every account pre-seeded with a storage subtrie deep enough
     // that the per-account fold has real trie paths to walk.
-    StateDb db(&trie, root, nullptr, &flat, &pool);
+    StateDb db(&trie, root, nullptr, &versioned, &pool);
     for (size_t a = 0; a < n_accounts; ++a) {
       Address addr = Address::FromId(a + 1);
       db.AddBalance(addr, U256(1'000'000));
@@ -159,7 +202,7 @@ CommitConfigRun RunCommitConfig(size_t workers, size_t n_accounts, size_t n_roun
 
   CommitConfigRun run;
   for (size_t round = 0; round < n_rounds; ++round) {
-    StateDb db(&trie, root, nullptr, &flat, &pool);
+    StateDb db(&trie, root, nullptr, &versioned, &pool);
     for (size_t a = 0; a < n_accounts; ++a) {
       Address addr = Address::FromId(a + 1);
       db.AddBalance(addr, U256(1));
@@ -221,30 +264,39 @@ CommitResult RunCommitPart() {
 
 int main(int argc, char** argv) {
   BenchArgs args = ParseBenchArgs(argc, argv);
-  std::printf("=== Flat snapshot layer: read path + parallel commit gates ===\n");
+  std::printf("=== Versioned store: read path + no-fork + parallel commit gates ===\n");
 
   ScenarioResult scenario = RunScenarioPart();
   std::printf("scenario L1: %llu blocks, %llu txs\n",
               static_cast<unsigned long long>(scenario.blocks),
               static_cast<unsigned long long>(scenario.txs));
-  if (scenario.flat_on_account_reads > 0) {
-    std::printf("  account trie reads: flat off %llu, flat on %llu (%.1fx fewer)\n",
-                static_cast<unsigned long long>(scenario.flat_off_account_reads),
-                static_cast<unsigned long long>(scenario.flat_on_account_reads),
-                static_cast<double>(scenario.flat_off_account_reads) /
-                    static_cast<double>(scenario.flat_on_account_reads));
+  if (scenario.on_account_reads > 0) {
+    std::printf("  account trie reads: store off %llu, store on %llu (%.1fx fewer)\n",
+                static_cast<unsigned long long>(scenario.off_account_reads),
+                static_cast<unsigned long long>(scenario.on_account_reads),
+                static_cast<double>(scenario.off_account_reads) /
+                    static_cast<double>(scenario.on_account_reads));
   } else {
-    std::printf("  account trie reads: flat off %llu, flat on 0 (all served flat)\n",
-                static_cast<unsigned long long>(scenario.flat_off_account_reads));
+    std::printf("  account trie reads: store off %llu, store on 0 (all served versioned)\n",
+                static_cast<unsigned long long>(scenario.off_account_reads));
   }
-  std::printf("  storage trie reads: flat off %llu, flat on %llu\n",
-              static_cast<unsigned long long>(scenario.flat_off_storage_reads),
-              static_cast<unsigned long long>(scenario.flat_on_storage_reads));
-  std::printf("  flat: hits %llu, misses %llu, layers %zu, applies %llu, pops %llu\n",
-              static_cast<unsigned long long>(scenario.flat_hits),
-              static_cast<unsigned long long>(scenario.flat_misses), scenario.flat.layers,
-              static_cast<unsigned long long>(scenario.flat.applies),
-              static_cast<unsigned long long>(scenario.flat.pops));
+  std::printf("  storage trie reads: store off %llu, store on %llu\n",
+              static_cast<unsigned long long>(scenario.off_storage_reads),
+              static_cast<unsigned long long>(scenario.on_storage_reads));
+  std::printf("  versioned: hits %llu, misses %llu, seals %llu, retained %zu, "
+              "folds %llu, deferrals %llu\n",
+              static_cast<unsigned long long>(scenario.versioned_hits),
+              static_cast<unsigned long long>(scenario.versioned_misses),
+              static_cast<unsigned long long>(scenario.versioned.seals),
+              scenario.versioned.retained,
+              static_cast<unsigned long long>(scenario.versioned.folds),
+              static_cast<unsigned long long>(scenario.versioned.fold_deferrals));
+
+  NoForkResult no_fork = RunNoForkPart();
+  std::printf("no-fork: %llu blocks, invalidations %llu, view_active %s\n",
+              static_cast<unsigned long long>(no_fork.blocks),
+              static_cast<unsigned long long>(no_fork.invalidations),
+              no_fork.view_active ? "yes" : "no");
 
   CommitResult commit = RunCommitPart();
   std::printf("commit (%zu accounts, %zu rounds): modeled fold wall %.3fms -> %.3fms "
@@ -258,17 +310,24 @@ int main(int argc, char** argv) {
   JsonValue scenario_json = JsonValue::Object();
   scenario_json.Set("blocks", static_cast<uint64_t>(scenario.blocks));
   scenario_json.Set("txs", static_cast<uint64_t>(scenario.txs));
-  scenario_json.Set("account_trie_reads_flat_off", scenario.flat_off_account_reads);
-  scenario_json.Set("account_trie_reads_flat_on", scenario.flat_on_account_reads);
-  scenario_json.Set("storage_trie_reads_flat_off", scenario.flat_off_storage_reads);
-  scenario_json.Set("storage_trie_reads_flat_on", scenario.flat_on_storage_reads);
-  scenario_json.Set("flat_hits", scenario.flat_hits);
-  scenario_json.Set("flat_misses", scenario.flat_misses);
-  scenario_json.Set("flat_applies", scenario.flat.applies);
-  scenario_json.Set("flat_pops", scenario.flat.pops);
-  scenario_json.Set("flat_layers", static_cast<uint64_t>(scenario.flat.layers));
+  scenario_json.Set("account_trie_reads_versioned_off", scenario.off_account_reads);
+  scenario_json.Set("account_trie_reads_versioned_on", scenario.on_account_reads);
+  scenario_json.Set("storage_trie_reads_versioned_off", scenario.off_storage_reads);
+  scenario_json.Set("storage_trie_reads_versioned_on", scenario.on_storage_reads);
+  scenario_json.Set("versioned_hits", scenario.versioned_hits);
+  scenario_json.Set("versioned_misses", scenario.versioned_misses);
+  scenario_json.Set("seals", scenario.versioned.seals);
+  scenario_json.Set("folds", scenario.versioned.folds);
+  scenario_json.Set("fold_deferrals", scenario.versioned.fold_deferrals);
+  scenario_json.Set("retained", static_cast<uint64_t>(scenario.versioned.retained));
   scenario_json.Set("ok", scenario.ok);
   payload.Set("scenario", scenario_json);
+  JsonValue no_fork_json = JsonValue::Object();
+  no_fork_json.Set("blocks", static_cast<uint64_t>(no_fork.blocks));
+  no_fork_json.Set("invalidations", no_fork.invalidations);
+  no_fork_json.Set("view_active", no_fork.view_active);
+  no_fork_json.Set("ok", no_fork.ok);
+  payload.Set("no_fork", no_fork_json);
   JsonValue commit_json = JsonValue::Object();
   commit_json.Set("accounts", static_cast<uint64_t>(commit.accounts));
   commit_json.Set("workers", static_cast<uint64_t>(kCommitWorkers));
@@ -281,11 +340,11 @@ int main(int argc, char** argv) {
   commit_json.Set("ok", commit.ok);
   payload.Set("commit", commit_json);
 
-  bool ok = scenario.ok && commit.ok;
+  bool ok = scenario.ok && no_fork.ok && commit.ok;
   if (!FinishObservability(args, "flat_state", payload)) {
     ok = false;
   }
-  std::printf(ok ? "PASS: all flat-state gates held\n"
-                 : "FAIL: flat-state gates violated\n");
+  std::printf(ok ? "PASS: all versioned-store gates held\n"
+                 : "FAIL: versioned-store gates violated\n");
   return ok ? 0 : 1;
 }

@@ -87,10 +87,11 @@ struct NodeRunStats {
   MempoolStats mempool;
   SpecCacheStats spec_cache;
   // Critical-path state-read attribution (per node — the process-global
-  // registry mixes nodes) and the flat snapshot layer's structural counters.
+  // registry mixes nodes) and the versioned store's structural counters.
   StateDbStats chain_state;
-  FlatStateStats flat;
-  bool flat_enabled = false;
+  VersionedStateStats versioned;
+  bool versioned_enabled = false;
+  bool state_view_active = false;
 };
 
 struct SimReport {

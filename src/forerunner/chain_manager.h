@@ -2,14 +2,18 @@
 // boundary): a block history over StateDb roots supporting multi-depth
 // reorgs. Because the Merkle-Patricia trie is persistent, every recent root
 // stays readable for free; the manager keeps a bounded undo window (root,
-// header, nonce map, and the undone block's orphaned transactions) and can
-// walk the head back up to `max_reorg_depth` blocks, handing the orphans back
-// for mempool re-injection. Dropping a record that falls off the window is
-// what bounds the per-transaction bookkeeping (the pre-decomposition node
-// kept heard-times forever).
+// header, nonce map, pinned snapshot handle, and the undone block's orphaned
+// transactions) and can walk the head back up to `max_reorg_depth` blocks,
+// handing the orphans back for mempool re-injection. With a versioned store
+// attached, the undo record's pinned handle keeps the parent version
+// acquirable, so a rollback is a handle swap — never a diff replay.
 //
 // Threading: owned by the node's coordinator thread; speculation workers read
-// old roots through the persistent trie and never touch this object.
+// old roots through the persistent trie (or their own pinned snapshot
+// handles) and never touch this object. Under chain.root_async the commit's
+// trie folds run on the commit pool's async thread between CommitState() and
+// SealRoot(); the manager guarantees the state view is never retired or
+// destroyed with a commit in flight.
 #ifndef SRC_FORERUNNER_CHAIN_MANAGER_H_
 #define SRC_FORERUNNER_CHAIN_MANAGER_H_
 
@@ -21,8 +25,8 @@
 #include "src/dice/block.h"
 #include "src/forerunner/spec_manager.h"
 #include "src/state/commit_pool.h"
-#include "src/state/flat_state.h"
 #include "src/state/statedb.h"
+#include "src/state/versioned_state.h"
 
 namespace frn {
 
@@ -36,6 +40,13 @@ struct ChainManagerOptions {
   // 1 (the default) runs the folds inline on the coordinator in the exact
   // serial operation order; any count produces bit-identical roots.
   size_t commit_workers = 1;
+  // Off-critical-path root authentication: CommitState() returns after
+  // capturing the block's dirty set, the trie folds run on the commit pool's
+  // background thread, and SealRoot() awaits the authenticated root at
+  // block-seal time. Default off => bit-identical behavior and timing to the
+  // synchronous pipeline. Requires a versioned store (silently synchronous
+  // without one — there is no covered view to keep readers consistent).
+  bool root_async = false;
 };
 
 // A transaction orphaned by a rollback: what the mempool and speculation
@@ -49,11 +60,12 @@ struct OrphanedTx {
 
 class ChainManager {
  public:
-  // `flat` may be null; when present, every committed block pushes a diff
-  // layer onto it and every rollback pops one, keeping the flat snapshot
-  // positioned at the head root.
+  // `versioned` may be null; when present, every committed block seals a new
+  // version in it, every state view pins its root's version, and rollbacks
+  // re-acquire the parent version by handle.
   ChainManager(Mpt* trie, SharedStateCache* shared_cache,
-               const ChainManagerOptions& options, FlatState* flat = nullptr);
+               const ChainManagerOptions& options, VersionedState* versioned = nullptr);
+  ~ChainManager();
 
   // Installs the genesis root as the head (block number 0) and opens the
   // execution state view.
@@ -73,8 +85,14 @@ class ChainManager {
   // top of block execution, before any transaction mutates the nonce map.
   void BeginBlock(const Block& block, double first_seen);
   // Commits the execution state; the only chain work inside the measured
-  // commit span (identical to the pre-decomposition node).
-  Hash CommitState();
+  // commit span. Synchronous mode computes the root inline (identical to the
+  // pre-decomposition node); root_async mode dispatches the folds and returns
+  // immediately.
+  void CommitState();
+  // The authenticated post-state root. Blocks on the in-flight async commit
+  // when root_async dispatched one; otherwise returns the root CommitState
+  // already computed. Must be called before AdvanceHead.
+  Hash SealRoot();
   // Moves the head (off the measured path): resets the shared cache, reopens
   // the state view, finalizes the pending undo record, and prunes the undo
   // window to max_reorg_depth.
@@ -86,7 +104,11 @@ class ChainManager {
   size_t reorg_window() const { return undo_.size(); }
   size_t max_reorg_depth() const { return options_.max_reorg_depth; }
   size_t commit_workers() const { return commit_pool_.workers(); }
+  bool root_async() const { return options_.root_async; }
   uint64_t rollbacks() const { return rollbacks_; }
+  // Whether the live state view reads through a pinned snapshot handle (false
+  // when no versioned store is attached or its retention missed the root).
+  bool view_active() const { return state_ != nullptr && state_->view().valid(); }
 
   // Critical-path StateDb read attribution, accumulated across the per-block
   // state views this manager has opened (including the live one). This is the
@@ -116,6 +138,9 @@ class ChainManager {
     BlockContext parent_header;
     std::unordered_map<Address, uint64_t, AddressHasher> parent_nonces;
     double parent_first_seen = 0;
+    // Pin on the parent's version: while this record is inside the undo
+    // window, the versioned store must be able to serve a rollback to it.
+    SnapshotHandle parent_view;
     std::vector<OrphanedTx> orphans;
   };
 
@@ -124,7 +149,7 @@ class ChainManager {
   ChainManagerOptions options_;
   Mpt* trie_;
   SharedStateCache* shared_cache_;
-  FlatState* flat_;
+  VersionedState* versioned_;
   // The pool outlives the per-block StateDb instances that borrow it.
   CommitPool commit_pool_;
   std::unique_ptr<StateDb> state_;
@@ -133,6 +158,11 @@ class ChainManager {
   BlockContext head_;
   double head_first_seen_ = 0;
   std::unordered_map<Address, uint64_t, AddressHasher> chain_nonces_;
+
+  // root_async seal handshake: at most one commit is in flight, between
+  // CommitState() and the next SealRoot().
+  RootFuture pending_root_;
+  Hash sealed_root_;
 
   UndoRecord pending_;
   double pending_first_seen_ = 0;

@@ -5,6 +5,7 @@
 
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
+#include "src/state/persist.h"
 
 namespace frn {
 
@@ -21,28 +22,46 @@ size_t ResolveSpecWorkers(const NodeOptions& options) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+KvStore::Options ResolveStoreOptions(const NodeOptions& options) {
+  KvStore::Options store = options.store;
+  store.persist = options.state.persist;
+  return store;
+}
+
+// The store must retain at least as many versions as the undo window is deep,
+// or a rollback inside the window would fall off coverage; explicit retention
+// settings only ever deepen it.
+size_t ResolveRetention(const NodeOptions& options) {
+  return std::max<size_t>(options.state.retention, options.chain.max_reorg_depth);
+}
+
 }  // namespace
 
 Node::Node(const NodeOptions& options, const std::function<void(StateDb*)>& genesis)
     : options_(options),
-      store_(options.store),
+      store_(ResolveStoreOptions(options)),
       trie_(&store_),
-      flat_(options.flat.enabled
-                ? std::make_unique<FlatState>(options.chain.max_reorg_depth)
-                : nullptr),
+      versioned_(options.state.versioned
+                     ? std::make_unique<VersionedState>(ResolveRetention(options))
+                     : nullptr),
       rng_(options.rng_seed),
       predictor_(options.predictor),
       spec_pool_(&trie_, options.speculator, ResolveSpecWorkers(options),
-                 /*physical_threads=*/0, flat_.get()),
-      prefetcher_(&trie_, &shared_cache_, flat_.get()),
+                 /*physical_threads=*/0, versioned_.get()),
+      prefetcher_(&trie_, &shared_cache_, versioned_.get()),
       mempool_(options.mempool),
       spec_(options.spec),
-      chain_(&trie_, &shared_cache_, options.chain, flat_.get()) {
-  // The genesis commit populates the flat base layer: empty maps are complete
-  // for the empty trie, so coverage is authoritative from block 0 on.
-  StateDb genesis_state(&trie_, Mpt::EmptyRoot(), nullptr, flat_.get());
+      chain_(&trie_, &shared_cache_, options.chain, versioned_.get()) {
+  // The genesis commit seals the first version above the store's empty base:
+  // empty maps are complete for the empty trie, so version coverage is
+  // authoritative from block 0 on.
+  StateDb genesis_state(&trie_, Mpt::EmptyRoot(), nullptr, versioned_.get());
   genesis(&genesis_state);
-  chain_.SetGenesis(genesis_state.Commit());
+  Hash genesis_root = genesis_state.Commit();
+  chain_.SetGenesis(genesis_root);
+  if (options_.state.persist != nullptr) {
+    options_.state.persist->AppendHead(genesis_root, 0);
+  }
 }
 
 void Node::OnHeard(const Transaction& tx, double sim_time) {
@@ -187,9 +206,13 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
     }
   }
   {
+    // Under chain.root_async this span covers only the critical-path half of
+    // the commit (dirty-set capture + dispatch); the trie folds run on the
+    // commit pool's background thread and are awaited by SealRoot below.
     TraceSpan commit_span(collector, "block", "block.commit", commit_wall);
-    report.state_root = chain_.CommitState();
+    chain_.CommitState();
   }
+  report.state_root = chain_.SealRoot();
   report.total_seconds = block_watch.ElapsedSeconds();
   blocks->Add();
   block_span.AddArg(TraceArg::U64("number", block.header.number));
@@ -199,6 +222,9 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
 
   // Chain bookkeeping (off the measured path).
   chain_.AdvanceHead(block.header, report.state_root);
+  if (options_.state.persist != nullptr) {
+    options_.state.persist->AppendHead(report.state_root, block.header.number);
+  }
   // Retire executed transactions from the pool and their speculation state
   // (keeping a summary for the §5.5 statistics); what a rollback would need
   // to re-admit them is parked in the undo record.
@@ -220,6 +246,11 @@ void Node::RollbackHead() {
   static Counter* rollbacks = MetricsRegistry::Global().GetCounter("chain.rollbacks");
   rollbacks->Add();
   std::vector<OrphanedTx> orphans = chain_.RollbackHead();
+  if (options_.state.persist != nullptr) {
+    // Re-mark the restored head so a crash right after the rollback recovers
+    // at the rolled-back root, not the orphaned one.
+    options_.state.persist->AppendHead(chain_.head_root(), chain_.head().number);
+  }
   EmitInstant(&TraceCollector::Global(), "block", "chain.rollback",
               {TraceArg::U64("to_block", chain_.head().number)});
   // Orphaned transactions return to the pending pool (if we ever heard them)
@@ -306,23 +337,29 @@ JsonValue Node::StatsJson() const {
   chain_json.Set("account_trie_reads", state.account_trie_reads);
   chain_json.Set("storage_trie_reads", state.storage_trie_reads);
   chain_json.Set("shared_cache_hits", state.shared_cache_hits);
-  chain_json.Set("flat_hits", state.flat_hits);
-  chain_json.Set("flat_misses", state.flat_misses);
+  chain_json.Set("versioned_hits", state.versioned_hits);
+  chain_json.Set("versioned_misses", state.versioned_misses);
   node.Set("chain", std::move(chain_json));
 
-  JsonValue flat_json = JsonValue::Object();
-  flat_json.Set("enabled", flat_ != nullptr);
-  if (flat_ != nullptr) {
-    FlatStateStats fs = flat_->stats();
-    flat_json.Set("applies", fs.applies);
-    flat_json.Set("pops", fs.pops);
-    flat_json.Set("dropped_layers", fs.dropped_layers);
-    flat_json.Set("invalidations", fs.invalidations);
-    flat_json.Set("layers", static_cast<uint64_t>(fs.layers));
-    flat_json.Set("accounts", static_cast<uint64_t>(fs.accounts));
-    flat_json.Set("slots", static_cast<uint64_t>(fs.slots));
+  JsonValue state_json = JsonValue::Object();
+  state_json.Set("versioned", versioned_ != nullptr);
+  state_json.Set("view_active", view_active());
+  state_json.Set("root_async", chain_.root_async());
+  if (versioned_ != nullptr) {
+    VersionedStateStats vs = versioned_->stats();
+    state_json.Set("commits", vs.commits);
+    state_json.Set("seals", vs.seals);
+    state_json.Set("invalidations", vs.invalidations);
+    state_json.Set("folds", vs.folds);
+    state_json.Set("fold_deferrals", vs.fold_deferrals);
+    state_json.Set("handle_acquires", vs.handle_acquires);
+    state_json.Set("acquire_misses", vs.acquire_misses);
+    state_json.Set("retained", static_cast<uint64_t>(vs.retained));
+    state_json.Set("depth", static_cast<uint64_t>(vs.depth));
+    state_json.Set("accounts", static_cast<uint64_t>(vs.accounts));
+    state_json.Set("slots", static_cast<uint64_t>(vs.slots));
   }
-  node.Set("flat", std::move(flat_json));
+  node.Set("state", std::move(state_json));
 
   JsonValue doc = JsonValue::Object();
   doc.Set("node", std::move(node));

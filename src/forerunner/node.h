@@ -52,13 +52,23 @@ struct BlockExecReport {
   double total_seconds = 0;
 };
 
-// The flat snapshot layer (src/state/flat_state.h): O(1) committed-head
-// reads for the critical path, the speculation workers and the prefetcher.
-struct FlatStateOptions {
-  // Off by default: the flat-off node is the configuration every bench was
+// The versioned snapshot store (src/state/versioned_state.h): O(1) pinned-
+// view reads for the critical path, the speculation workers and the
+// prefetcher, with handle-swap reorgs to any retained height.
+struct StateOptions {
+  // Off by default: the store-off node is the configuration every bench was
   // validated against, and bench_flat_state gates that enabling it changes
   // no state root and no execution outcome — only where reads are served.
-  bool enabled = false;
+  bool versioned = false;
+  // Versions retained above the folded base. 0 derives the retention from the
+  // deepest reorg the node must serve: max(retention, chain.max_reorg_depth)
+  // is always applied, so explicit values only ever deepen it.
+  size_t retention = 0;
+  // Optional durability (borrowed; must outlive the node): wired into the
+  // KvStore as its append-only segment log, plus per-block head markers so a
+  // restarted run recovers at the same head root (forerunner_sim
+  // --persist-dir).
+  PersistLog* persist = nullptr;
 };
 
 struct NodeOptions {
@@ -66,7 +76,7 @@ struct NodeOptions {
   KvStore::Options store;
   PredictorOptions predictor;
   Speculator::Options speculator;
-  FlatStateOptions flat;
+  StateOptions state;
   // Subsystem knobs; every default reproduces the pre-decomposition node
   // exactly (unbounded pool, latest-root-only speculation, nothing retained
   // across reorgs, and a 4-deep undo window whose extra depth is pure
@@ -120,12 +130,14 @@ class Node {
   // Subsystem introspection (pool pressure, speculation cache, reorg window).
   MempoolStats mempool_stats() const { return mempool_.stats(); }
   SpecCacheStats spec_cache_stats() const { return spec_.stats(); }
-  // Critical-path StateDb read attribution (flat hits vs trie walks).
+  // Critical-path StateDb read attribution (versioned hits vs trie walks).
   StateDbStats chain_state_stats() const { return chain_.cumulative_state_stats(); }
-  FlatStateStats flat_stats() const {
-    return flat_ != nullptr ? flat_->stats() : FlatStateStats{};
+  VersionedStateStats versioned_stats() const {
+    return versioned_ != nullptr ? versioned_->stats() : VersionedStateStats{};
   }
-  bool flat_enabled() const { return flat_ != nullptr; }
+  bool versioned_enabled() const { return versioned_ != nullptr; }
+  // Whether the live head view reads through a pinned snapshot handle.
+  bool view_active() const { return chain_.view_active(); }
   const ChainManager& chain() const { return chain_; }
   size_t reorg_window() const { return chain_.reorg_window(); }
   bool CanRollback() const { return chain_.CanRollback(); }
@@ -176,9 +188,9 @@ class Node {
   KvStore store_;
   Mpt trie_;
   SharedStateCache shared_cache_;
-  // Null unless options_.flat.enabled; shared (read-side) by the chain
+  // Null unless options_.state.versioned; shared (read-side) by the chain
   // manager's state views, the speculation workers and the prefetcher.
-  std::unique_ptr<FlatState> flat_;
+  std::unique_ptr<VersionedState> versioned_;
   Rng rng_;
 
   MultiFuturePredictor predictor_;

@@ -11,16 +11,16 @@ namespace frn {
 
 class Prefetcher {
  public:
-  // `flat` may be null. When the flat snapshot layer covers `root`, account
-  // and slot reads are already O(1) and the trie walks are skipped — only
-  // code blobs (which live behind the store, not in the flat maps) still get
-  // heated.
-  Prefetcher(Mpt* trie, SharedStateCache* cache, FlatState* flat = nullptr)
-      : trie_(trie), cache_(cache), flat_(flat) {}
+  // `versioned` may be null. When the versioned store retains a version at
+  // `root`, account and slot reads are already O(1) through the pinned handle
+  // and the trie walks are skipped — only code blobs (which live behind the
+  // store, not in the version maps) still get heated.
+  Prefetcher(Mpt* trie, SharedStateCache* cache, VersionedState* versioned = nullptr)
+      : trie_(trie), cache_(cache), versioned_(versioned) {}
 
   // Warms every location in `reads` for the state at `root`.
   void Prefetch(const Hash& root, const ReadSet& reads) {
-    StateDb db(trie_, root, cache_, flat_);
+    StateDb db(trie_, root, cache_, versioned_);
     for (const Address& account : reads.accounts) {
       db.PrefetchAccount(account);
     }
@@ -32,7 +32,7 @@ class Prefetcher {
  private:
   Mpt* trie_;
   SharedStateCache* cache_;
-  FlatState* flat_ = nullptr;
+  VersionedState* versioned_ = nullptr;
 };
 
 }  // namespace frn

@@ -21,10 +21,10 @@ size_t ResolvePhysical(size_t workers, size_t physical_threads) {
 }  // namespace
 
 SpecPool::SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers,
-                   size_t physical_threads, FlatState* flat)
+                   size_t physical_threads, VersionedState* versioned)
     : trie_(trie),
       options_(options),
-      flat_(flat),
+      versioned_(versioned),
       workers_(std::max<size_t>(1, workers)),
       physical_(ResolvePhysical(workers_, physical_threads)),
       worker_stats_(workers_) {
@@ -102,7 +102,7 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
     // Inline path: identical operation order to the pre-pool pipeline. No
     // executor threads exist, so the batch never routes through the guarded
     // handoff members at all — the vectors stay coordinator-private locals.
-    Speculator speculator(trie_, options_, flat_);
+    Speculator speculator(trie_, options_, versioned_);
     for (size_t j = 0; j < jobs.size(); ++j) {
       ExecuteJob(&speculator, jobs[j], results[j], j);
     }
@@ -163,7 +163,7 @@ std::vector<SpecJobResult> SpecPool::RunBatch(std::vector<SpecJob> jobs) {
 void SpecPool::WorkerLoop(size_t thread_index) {
   // Each executor owns its Speculator: no mutable state is shared between
   // executors, only the (reader-safe) trie/store underneath.
-  Speculator speculator(trie_, options_, flat_);
+  Speculator speculator(trie_, options_, versioned_);
   size_t seen_batch = 0;
   for (;;) {
     // The batch vectors are copied out of the guarded members under the lock;

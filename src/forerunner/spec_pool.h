@@ -65,11 +65,11 @@ class SpecPool {
   // physical thread no threads are spawned and RunBatch executes jobs inline
   // in submission order — the original single-threaded pipeline's exact
   // operation order (job costs use the same modeled CPU + deferred-latency
-  // accounting as the threaded path). `flat` (may be null) lets each
-  // executor's scratch state views read the committed head O(1) from the
-  // flat snapshot layer; workers never write to it.
+  // accounting as the threaded path). `versioned` (may be null) lets each
+  // executor's scratch state views read retained roots O(1) through pinned
+  // snapshot handles; workers never write to it.
   SpecPool(Mpt* trie, const Speculator::Options& options, size_t workers,
-           size_t physical_threads = 0, FlatState* flat = nullptr);
+           size_t physical_threads = 0, VersionedState* versioned = nullptr);
   ~SpecPool();
   SpecPool(const SpecPool&) = delete;
   SpecPool& operator=(const SpecPool&) = delete;
@@ -99,7 +99,7 @@ class SpecPool {
 
   Mpt* trie_;
   Speculator::Options options_;
-  FlatState* flat_;
+  VersionedState* versioned_;
   size_t workers_;   // modeled lanes
   size_t physical_;  // executor threads actually running jobs
 

@@ -58,9 +58,9 @@ bool Speculator::SpeculateFuture(const Hash& root, const Transaction& tx,
   ++spec->futures;
 
   // Scratch view of the chain state: journaled writes are never committed.
-  // At the committed head the flat layer answers reads O(1) (workers only
-  // read it; Covers() fails harmlessly for older roots).
-  StateDb scratch(trie_, root, nullptr, flat_);
+  // Retained roots pin a snapshot handle answering reads O(1) (workers only
+  // read the store; an unretained root harmlessly reads the trie).
+  StateDb scratch(trie_, root, nullptr, versioned_);
 
   // Replay the predicted predecessors to construct the speculated context.
   {

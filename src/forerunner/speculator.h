@@ -62,7 +62,7 @@ struct TxSpeculation {
 // in the caller-owned TxSpeculation, and the trie/store underneath is safe
 // for concurrent readers. Per-worker instances of the parallel speculation
 // engine therefore run side by side against the same head snapshot.
-class FlatState;
+class VersionedState;
 
 class Speculator {
  public:
@@ -71,10 +71,11 @@ class Speculator {
     size_t max_records = 4;  // perfect-match candidates kept per tx
   };
 
-  // `flat` (may be null) serves the scratch views' committed-head reads O(1);
-  // the speculator only ever reads it (scratch state is never committed).
-  Speculator(Mpt* trie, const Options& options, FlatState* flat = nullptr)
-      : trie_(trie), options_(options), flat_(flat) {}
+  // `versioned` (may be null) serves the scratch views' pinned-snapshot reads
+  // O(1); the speculator only ever reads it (scratch state is never
+  // committed).
+  Speculator(Mpt* trie, const Options& options, VersionedState* versioned = nullptr)
+      : trie_(trie), options_(options), versioned_(versioned) {}
   explicit Speculator(Mpt* trie) : Speculator(trie, Options{}) {}
 
   // Pre-executes `tx` under `future` starting from chain state `root`, and
@@ -86,7 +87,7 @@ class Speculator {
  private:
   Mpt* trie_;
   Options options_;
-  FlatState* flat_ = nullptr;
+  VersionedState* versioned_ = nullptr;
 };
 
 }  // namespace frn

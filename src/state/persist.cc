@@ -1,0 +1,305 @@
+#include "src/state/persist.h"
+
+#include <cinttypes>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace frn {
+
+namespace {
+
+constexpr uint8_t kRecordBlob = 1;
+constexpr uint8_t kRecordHead = 2;
+constexpr size_t kRecordHeaderBytes = 1 + 4 + 8;  // type + payload_len + checksum
+// Cap a single record's payload (a trie node or code blob plus its 32-byte
+// key); anything larger in a header is corruption, not data.
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+constexpr size_t kSegmentTargetBytes = 4u << 20;  // rotate past ~4 MiB
+
+uint64_t Fnv1a64(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string PersistLog::SegmentPath(size_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "segment-%04zu.log", index);
+  return dir_ + "/" + name;
+}
+
+std::unique_ptr<PersistLog> PersistLog::Open(const std::string& dir, std::string* error) {
+  std::unique_ptr<PersistLog> log(new PersistLog());
+  log->dir_ = dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create persist dir " + dir + ": " + ec.message();
+    }
+    return nullptr;
+  }
+  MutexLock lock(log->mutex_);
+  if (!log->ReplayLocked(error)) {
+    return nullptr;
+  }
+  return log;
+}
+
+bool PersistLog::ReplayLocked(std::string* error) {
+  const std::string manifest_path = dir_ + "/MANIFEST";
+  if (std::FILE* manifest = std::fopen(manifest_path.c_str(), "rb")) {
+    unsigned version = 0;
+    unsigned long long segments = 0;
+    const int matched =
+        std::fscanf(manifest, "FRNLOG %u\nsegments %llu\n", &version, &segments);
+    std::fclose(manifest);
+    if (matched != 2 || segments == 0) {
+      if (error != nullptr) {
+        *error = "unreadable manifest at " + manifest_path;
+      }
+      return false;
+    }
+    if (version != kVersion) {
+      if (error != nullptr) {
+        *error = "manifest version mismatch at " + manifest_path + ": found " +
+                 std::to_string(version) + ", supported " + std::to_string(kVersion);
+      }
+      return false;
+    }
+    segments_ = static_cast<size_t>(segments);
+  } else {
+    // Fresh directory: one empty segment, manifest written below.
+    segments_ = 1;
+    WriteManifestLocked();
+  }
+
+  bool truncated = false;
+  size_t last_good = 0;  // index of the last segment that replayed cleanly
+  for (size_t seg = 0; seg < segments_ && !truncated; ++seg) {
+    const std::string path = SegmentPath(seg);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      // A manifest-named segment that never hit the disk (crash between
+      // manifest rewrite and first append): treat like an empty tail.
+      truncated = seg + 1 < segments_;
+      last_good = seg;
+      break;
+    }
+    ++stats_.segments_replayed;
+    size_t good_offset = 0;
+    for (;;) {
+      uint8_t header[kRecordHeaderBytes];
+      const size_t got = std::fread(header, 1, sizeof(header), f);
+      if (got == 0) {
+        break;  // clean end of segment
+      }
+      bool ok = got == sizeof(header);
+      uint32_t payload_len = 0;
+      std::vector<uint8_t> payload;
+      if (ok) {
+        payload_len = ReadU32(header + 1);
+        ok = (header[0] == kRecordBlob || header[0] == kRecordHead) &&
+             payload_len <= kMaxPayloadBytes;
+      }
+      if (ok) {
+        payload.resize(payload_len);
+        ok = std::fread(payload.data(), 1, payload_len, f) == payload_len &&
+             Fnv1a64(payload.data(), payload.size()) == ReadU64(header + 5);
+      }
+      if (ok && header[0] == kRecordBlob) {
+        ok = payload.size() >= 32;
+        if (ok) {
+          std::array<uint8_t, 32> key{};
+          std::memcpy(key.data(), payload.data(), 32);
+          replay_.emplace_back(Hash(key), Bytes(payload.begin() + 32, payload.end()));
+          ++stats_.blobs_replayed;
+        }
+      } else if (ok && header[0] == kRecordHead) {
+        ok = payload.size() == 40;
+        if (ok) {
+          std::array<uint8_t, 32> root{};
+          std::memcpy(root.data(), payload.data(), 32);
+          head_root_ = Hash(root);
+          head_height_ = ReadU64(payload.data() + 32);
+          has_head_ = true;
+          ++stats_.heads_replayed;
+        }
+      }
+      if (!ok) {
+        // Torn or corrupt tail: everything before this record is intact.
+        // Drop the tail (and any later segments — they were written after
+        // this point in append order) and resume from here.
+        ++stats_.truncated_records;
+        truncated = true;
+        break;
+      }
+      good_offset += kRecordHeaderBytes + payload_len;
+    }
+    std::fclose(f);
+    if (truncated) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, good_offset, ec);
+      last_good = seg;
+    } else {
+      last_good = seg;
+    }
+  }
+
+  if (truncated || last_good + 1 < segments_) {
+    for (size_t seg = last_good + 1; seg < segments_; ++seg) {
+      std::error_code ec;
+      std::filesystem::remove(SegmentPath(seg), ec);
+    }
+    segments_ = last_good + 1;
+    WriteManifestLocked();
+  }
+
+  const std::string tail_path = SegmentPath(segments_ - 1);
+  segment_ = std::fopen(tail_path.c_str(), "ab");
+  if (segment_ == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open segment for append: " + tail_path;
+    }
+    return false;
+  }
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(tail_path, ec);
+  segment_bytes_ = ec ? 0 : static_cast<size_t>(size);
+  return true;
+}
+
+PersistLog::~PersistLog() {
+  MutexLock lock(mutex_);
+  if (segment_ != nullptr) {
+    std::fclose(segment_);
+    segment_ = nullptr;
+  }
+}
+
+std::vector<std::pair<Hash, Bytes>> PersistLog::TakeReplay() {
+  MutexLock lock(mutex_);
+  std::vector<std::pair<Hash, Bytes>> out;
+  out.swap(replay_);
+  return out;
+}
+
+void PersistLog::WriteManifestLocked() {
+  // tmp + rename so a crash mid-rewrite leaves the old manifest intact.
+  const std::string tmp_path = dir_ + "/MANIFEST.tmp";
+  if (std::FILE* f = std::fopen(tmp_path.c_str(), "wb")) {
+    std::fprintf(f, "FRNLOG %u\nsegments %zu\n", kVersion, segments_);
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, dir_ + "/MANIFEST", ec);
+  }
+}
+
+void PersistLog::AppendRecordLocked(uint8_t type, const std::vector<uint8_t>& payload) {
+  if (segment_ == nullptr) {
+    return;
+  }
+  std::vector<uint8_t> header;
+  header.reserve(kRecordHeaderBytes);
+  header.push_back(type);
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU64(&header, Fnv1a64(payload.data(), payload.size()));
+  std::fwrite(header.data(), 1, header.size(), segment_);
+  std::fwrite(payload.data(), 1, payload.size(), segment_);
+  // Flush per record: a crash can then lose at most the torn tail record that
+  // replay-on-open truncates away.
+  std::fflush(segment_);
+  segment_bytes_ += header.size() + payload.size();
+  RotateIfNeededLocked();
+}
+
+void PersistLog::RotateIfNeededLocked() {
+  if (segment_bytes_ < kSegmentTargetBytes) {
+    return;
+  }
+  std::fclose(segment_);
+  ++segments_;
+  WriteManifestLocked();
+  segment_ = std::fopen(SegmentPath(segments_ - 1).c_str(), "wb");
+  segment_bytes_ = 0;
+  ++stats_.rotations;
+}
+
+void PersistLog::AppendBlob(const Hash& key, const Bytes& value) {
+  std::vector<uint8_t> payload;
+  payload.reserve(32 + value.size());
+  payload.insert(payload.end(), key.bytes().begin(), key.bytes().end());
+  payload.insert(payload.end(), value.begin(), value.end());
+  MutexLock lock(mutex_);
+  AppendRecordLocked(kRecordBlob, payload);
+  ++stats_.blobs_appended;
+}
+
+void PersistLog::AppendHead(const Hash& root, uint64_t height) {
+  std::vector<uint8_t> payload;
+  payload.reserve(40);
+  payload.insert(payload.end(), root.bytes().begin(), root.bytes().end());
+  PutU64(&payload, height);
+  MutexLock lock(mutex_);
+  AppendRecordLocked(kRecordHead, payload);
+  ++stats_.heads_appended;
+  has_head_ = true;
+  head_root_ = root;
+  head_height_ = height;
+}
+
+bool PersistLog::has_head() const {
+  MutexLock lock(mutex_);
+  return has_head_;
+}
+
+Hash PersistLog::head_root() const {
+  MutexLock lock(mutex_);
+  return head_root_;
+}
+
+uint64_t PersistLog::head_height() const {
+  MutexLock lock(mutex_);
+  return head_height_;
+}
+
+PersistLogStats PersistLog::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace frn

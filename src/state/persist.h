@@ -1,0 +1,95 @@
+// Append-only file-backed segment log beneath the simulated-latency KvStore,
+// so a long `forerunner_sim --persist-dir` run can stop and resume at the
+// same head root (cold-start/recovery in the spirit of Ira, PAPERS.md).
+//
+// On-disk format (all integers little-endian):
+//   MANIFEST                 text: "FRNLOG <version>\nsegments <n>\n"
+//   segment-0000.log ...     append-only record streams
+//   record                   [u8 type][u32 payload_len][u64 fnv1a64][payload]
+//     type 1 = node blob     payload: 32-byte content hash + blob bytes
+//     type 2 = head marker   payload: 32-byte state root + u64 block height
+//
+// The store is content-addressed, so blobs are immutable facts: replay is a
+// straight insert of every valid record, and the recovered head is the last
+// head marker. Appends are flushed per record; a crash can therefore lose at
+// most a torn tail record, which replay-on-open detects by checksum/length
+// and truncates away (along with any later segments) before reopening the
+// last segment for append. A manifest written by a different format version
+// is rejected cleanly rather than guessed at.
+#ifndef SRC_STATE_PERSIST_H_
+#define SRC_STATE_PERSIST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sync.h"
+#include "src/common/types.h"
+
+namespace frn {
+
+struct PersistLogStats {
+  uint64_t segments_replayed = 0;
+  uint64_t blobs_replayed = 0;
+  uint64_t heads_replayed = 0;
+  uint64_t truncated_records = 0;  // torn/corrupt tail records dropped at open
+  uint64_t blobs_appended = 0;
+  uint64_t heads_appended = 0;
+  uint64_t rotations = 0;
+};
+
+class PersistLog {
+ public:
+  static constexpr uint32_t kVersion = 1;
+
+  // Opens (creating if absent) the log under `dir` and replays every valid
+  // record. Returns null with `*error` set when the directory cannot be
+  // created or the manifest belongs to a different format version; a torn
+  // tail is not an error (it is truncated and counted in open_stats()).
+  static std::unique_ptr<PersistLog> Open(const std::string& dir, std::string* error);
+
+  ~PersistLog();
+  PersistLog(const PersistLog&) = delete;
+  PersistLog& operator=(const PersistLog&) = delete;
+
+  // Moves the replayed blobs out (the KvStore constructor drains them into
+  // its map exactly once).
+  std::vector<std::pair<Hash, Bytes>> TakeReplay();
+
+  void AppendBlob(const Hash& key, const Bytes& value);
+  void AppendHead(const Hash& root, uint64_t height);
+
+  bool has_head() const;
+  Hash head_root() const;
+  uint64_t head_height() const;
+  PersistLogStats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  PersistLog() = default;
+
+  bool ReplayLocked(std::string* error) FRN_REQUIRES(mutex_);
+  void AppendRecordLocked(uint8_t type, const std::vector<uint8_t>& payload)
+      FRN_REQUIRES(mutex_);
+  void RotateIfNeededLocked() FRN_REQUIRES(mutex_);
+  void WriteManifestLocked() FRN_REQUIRES(mutex_);
+  std::string SegmentPath(size_t index) const;
+
+  std::string dir_;
+  mutable Mutex mutex_;
+  std::FILE* segment_ FRN_GUARDED_BY(mutex_) = nullptr;
+  size_t segments_ FRN_GUARDED_BY(mutex_) = 1;        // count named in the manifest
+  size_t segment_bytes_ FRN_GUARDED_BY(mutex_) = 0;   // size of the open segment
+  bool has_head_ FRN_GUARDED_BY(mutex_) = false;
+  Hash head_root_ FRN_GUARDED_BY(mutex_);
+  uint64_t head_height_ FRN_GUARDED_BY(mutex_) = 0;
+  std::vector<std::pair<Hash, Bytes>> replay_ FRN_GUARDED_BY(mutex_);
+  PersistLogStats stats_ FRN_GUARDED_BY(mutex_);
+};
+
+}  // namespace frn
+
+#endif  // SRC_STATE_PERSIST_H_

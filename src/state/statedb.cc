@@ -10,7 +10,7 @@
 #include "src/obs/registry.h"
 #include "src/rlp/rlp.h"
 #include "src/state/commit_pool.h"
-#include "src/state/flat_state.h"
+#include "src/state/versioned_state.h"
 
 namespace frn {
 
@@ -64,13 +64,44 @@ size_t SharedStateCache::storage_entries() const {
   return storage_.size();
 }
 
+RootFuture RootFuture::Ready(const Hash& root) {
+  RootFuture f = Pending();
+  f.Set(root);
+  return f;
+}
+
+RootFuture RootFuture::Pending() {
+  RootFuture f;
+  f.slot_ = std::make_shared<Slot>();
+  return f;
+}
+
+void RootFuture::Set(const Hash& root) {
+  MutexLock lock(slot_->mutex);
+  slot_->root = root;
+  slot_->ready = true;
+  slot_->cv.NotifyAll();
+}
+
+Hash RootFuture::Wait() const {
+  MutexLock lock(slot_->mutex);
+  while (!slot_->ready) {
+    slot_->cv.Wait(slot_->mutex);
+  }
+  return slot_->root;
+}
+
 StateDb::StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache,
-                 FlatState* flat, CommitPool* commit_pool)
+                 VersionedState* versioned, CommitPool* commit_pool)
     : trie_(trie),
       root_(root),
       shared_cache_(shared_cache),
-      flat_(flat),
-      commit_pool_(commit_pool) {}
+      versioned_(versioned),
+      commit_pool_(commit_pool) {
+  if (versioned_ != nullptr) {
+    view_ = versioned_->AcquireAt(root_);
+  }
+}
 
 Bytes StateDb::AccountKey(const Address& addr) {
   // Secure trie: key is keccak(address).
@@ -121,23 +152,26 @@ Account& StateDb::Load(const Address& addr) {
   if (it != accounts_.end()) {
     return it->second;
   }
-  static Counter* flat_hits = MetricsRegistry::Global().GetCounter("flat.hits");
-  static Counter* flat_misses = MetricsRegistry::Global().GetCounter("flat.misses");
+  static Counter* versioned_hits =
+      MetricsRegistry::Global().GetCounter("state.versioned_hits");
+  static Counter* versioned_misses =
+      MetricsRegistry::Global().GetCounter("state.versioned_misses");
   Account account;
   bool resolved = false;
-  if (flat_ != nullptr) {
-    if (flat_->Covers(root_)) {
-      // Authoritative O(1) answer: under coverage, absence from the flat map
-      // means the account does not exist — no trie fallback needed.
-      if (auto cached = flat_->GetAccount(addr)) {
+  if (versioned_ != nullptr) {
+    if (view_.valid()) {
+      // Authoritative O(1) answer: under a pinned view, absence from the
+      // version chain and base means the account does not exist — no trie
+      // fallback needed.
+      if (auto cached = versioned_->GetAccount(view_, addr)) {
         account = *cached;
       }
       resolved = true;
-      ++stats_.flat_hits;
-      flat_hits->Add();
+      ++stats_.versioned_hits;
+      versioned_hits->Add();
     } else {
-      ++stats_.flat_misses;
-      flat_misses->Add();
+      ++stats_.versioned_misses;
+      versioned_misses->Add();
     }
   }
   if (!resolved && shared_cache_ != nullptr && shared_cache_->root() == root_) {
@@ -251,21 +285,23 @@ U256 StateDb::GetCommittedStorage(const Address& addr, const U256& key) {
   if (it != cache.committed.end()) {
     return it->second;
   }
-  static Counter* flat_hits = MetricsRegistry::Global().GetCounter("flat.hits");
-  static Counter* flat_misses = MetricsRegistry::Global().GetCounter("flat.misses");
+  static Counter* versioned_hits =
+      MetricsRegistry::Global().GetCounter("state.versioned_hits");
+  static Counter* versioned_misses =
+      MetricsRegistry::Global().GetCounter("state.versioned_misses");
   U256 value;
   bool resolved = false;
-  if (flat_ != nullptr) {
-    if (flat_->Covers(root_)) {
-      // Authoritative: an uncovered slot is zero. This also skips the account
-      // load the trie path below needs for the storage root.
-      value = flat_->GetStorage(addr, key);
+  if (versioned_ != nullptr) {
+    if (view_.valid()) {
+      // Authoritative: a slot absent from the pinned view is zero. This also
+      // skips the account load the trie path below needs for the storage root.
+      value = versioned_->GetStorage(view_, addr, key);
       resolved = true;
-      ++stats_.flat_hits;
-      flat_hits->Add();
+      ++stats_.versioned_hits;
+      versioned_hits->Add();
     } else {
-      ++stats_.flat_misses;
-      flat_misses->Add();
+      ++stats_.versioned_misses;
+      versioned_misses->Add();
     }
   }
   if (!resolved && shared_cache_ != nullptr && shared_cache_->root() == root_) {
@@ -362,20 +398,32 @@ void StateDb::RevertToSnapshot(int id) {
   }
 }
 
-Hash StateDb::Commit() {
-  Hash state_root = root_.IsZero() ? Mpt::EmptyRoot() : root_;
-  const Hash parent_root = state_root;  // zero-root normalized, like the base
-
-  // Phase 1: collect one job per account with dirty storage. Load() runs on
-  // the coordinator (the account cache and stats are not thread-safe); the
-  // fold below only touches per-job state.
+// The per-commit dirty set, captured on the calling thread by PrepareCommit.
+// Job pointers target this StateDb's account/storage caches (stable across
+// unordered_map inserts); the contract that the StateDb is untouched between
+// CommitAsync() and the future's Wait() is what keeps them valid while
+// FinishCommit runs on the commit pool's async thread.
+struct StateDb::CommitPlan {
   struct StorageJob {
     StorageCache* cache = nullptr;
     Account* account = nullptr;
     Hash new_root;
     KvStore::StagedWrites staged;
   };
+  Hash parent_root;
   std::vector<StorageJob> jobs;
+  // Dirty slots for the versioned store's forward delta (empty when no store
+  // is attached).
+  std::vector<std::pair<StateSlotKey, U256>> slots;
+};
+
+StateDb::CommitPlan StateDb::PrepareCommit() {
+  CommitPlan plan;
+  plan.parent_root = root_.IsZero() ? Mpt::EmptyRoot() : root_;
+
+  // Phase 1: collect one job per account with dirty storage. Load() runs on
+  // the coordinator (the account cache and stats are not thread-safe); the
+  // fold later only touches per-job state.
   // Map order decides only the job -> lane assignment, which feeds the
   // modeled (schedule-dependent, documented-variable) timing fields; roots
   // and counted stats are order-independent because the subtries are
@@ -384,11 +432,24 @@ Hash StateDb::Commit() {
     if (cache.current.empty()) {
       continue;
     }
-    StorageJob job;
+    CommitPlan::StorageJob job;
     job.cache = &cache;
     job.account = &Load(addr);
-    jobs.push_back(std::move(job));
+    plan.jobs.push_back(std::move(job));
+    if (versioned_ != nullptr) {
+      // Forward delta for the versioned store — per-key entries, so the
+      // collection order does not matter (distinct keys commute).
+      for (const auto& [key, value] : cache.current) {  // frn:allow(unordered-iter)
+        plan.slots.emplace_back(StateSlotKey{addr, key}, value);
+      }
+    }
   }
+  return plan;
+}
+
+Hash StateDb::FinishCommit(CommitPlan& plan, SnapshotHandle pending) {
+  Hash state_root = plan.parent_root;
+  std::vector<CommitPlan::StorageJob>& jobs = plan.jobs;
 
   // Phase 2: fold + hash each account's storage subtrie. The subtries are
   // disjoint and content-addressed, so any schedule produces the same roots;
@@ -406,7 +467,7 @@ Hash StateDb::Commit() {
   std::vector<double> job_cost(jobs.size(), 0.0);
   std::vector<double> job_io(jobs.size(), 0.0);
   auto fold = [&](size_t i) {
-    StorageJob& job = jobs[i];
+    CommitPlan::StorageJob& job = jobs[i];
     double cpu_start = ThreadCpuSeconds();
     KvStoreStats io;
     {
@@ -479,9 +540,8 @@ Hash StateDb::Commit() {
 
   // Phase 3: one batched write of every staged node blob (single exclusive
   // lock, deterministic job order), then fold results into the accounts.
-  std::vector<std::pair<StateSlotKey, U256>> flat_slots;
   KvStore::StagedWrites batch;
-  for (StorageJob& job : jobs) {
+  for (CommitPlan::StorageJob& job : jobs) {
     for (auto& kv : job.staged.blobs) {
       auto [it, inserted] = batch.index.emplace(kv.first, batch.blobs.size());
       if (inserted) {
@@ -494,24 +554,18 @@ Hash StateDb::Commit() {
     job.staged.index.clear();
   }
   trie_->store()->ApplyStaged(std::move(batch));
-  // The three loops below fold dirty slots into per-key maps (FlatState's
-  // unordered layers, cache.committed): distinct-key writes commute, so the
-  // result is identical in any order.
+  // The loop below folds dirty slots into a per-key map (cache.committed):
+  // distinct-key writes commute, so the result is identical in any order.
   for (auto& [addr, cache] : storage_) {  // frn:allow(unordered-iter)
     if (cache.current.empty()) {
       continue;
-    }
-    if (flat_ != nullptr) {
-      for (const auto& [key, value] : cache.current) {  // frn:allow(unordered-iter)
-        flat_slots.emplace_back(StateSlotKey{addr, key}, value);
-      }
     }
     for (const auto& [key, value] : cache.current) {  // frn:allow(unordered-iter)
       cache.committed[key] = value;
     }
     cache.current.clear();
   }
-  for (StorageJob& job : jobs) {
+  for (CommitPlan::StorageJob& job : jobs) {
     job.account->storage_root = job.new_root;
     job.account->exists = true;
   }
@@ -519,34 +573,69 @@ Hash StateDb::Commit() {
   // Phase 4: fold the account trie serially — it is a single dependent chain
   // of Puts over one trie, and writing clean accounts is harmless (same
   // bytes -> same node hashes).
-  std::vector<std::pair<Address, Account>> flat_accounts;
+  std::vector<std::pair<Address, Account>> versioned_accounts;
   // Same argument as the storage fold: the account trie is
   // history-independent, so the chain of Puts reaches the same state_root in
-  // any order, and flat_accounts lands in FlatState's per-key map.
+  // any order, and versioned_accounts lands in the store's per-key map.
   for (auto& [addr, account] : accounts_) {  // frn:allow(unordered-iter)
     if (!account.exists) {
       continue;
     }
     state_root = trie_->Put(state_root, AccountKey(addr), EncodeAccount(account));
-    if (flat_ != nullptr) {
-      flat_accounts.emplace_back(addr, account);
+    if (versioned_ != nullptr) {
+      versioned_accounts.emplace_back(addr, account);
     }
   }
 
-  // Phase 5: push this block's diff layer onto the flat snapshot.
-  if (flat_ != nullptr) {
-    flat_->Apply(parent_root, state_root, flat_accounts, flat_slots);
+  // Phase 5: publish this block's forward delta as a new sealed version and
+  // re-pin the view at it. The synchronous path opens+seals in one step; the
+  // async path seals the version BeginCommit opened on the critical path.
+  if (versioned_ != nullptr) {
+    if (pending.valid()) {
+      view_ = versioned_->Seal(pending, state_root, std::move(versioned_accounts),
+                               std::move(plan.slots));
+    } else {
+      view_ = versioned_->Commit(view_, state_root, std::move(versioned_accounts),
+                                 std::move(plan.slots));
+    }
   }
   root_ = state_root;
   journal_.clear();
   return state_root;
 }
 
+Hash StateDb::Commit() {
+  CommitPlan plan = PrepareCommit();
+  return FinishCommit(plan, SnapshotHandle{});
+}
+
+RootFuture StateDb::CommitAsync() {
+  if (commit_pool_ == nullptr || versioned_ == nullptr || !view_.valid()) {
+    // Without a background thread and a pinned view there is nothing to take
+    // off the critical path — fall through to the synchronous pipeline.
+    return RootFuture::Ready(Commit());
+  }
+  static Counter* dispatches =
+      MetricsRegistry::Global().GetCounter("commit.async_dispatches");
+  // Capture the dirty set on the critical path (no store traffic), open the
+  // unsealed child version, and hand the folds + root authentication to the
+  // commit pool's async thread. The unsealed version is invisible to readers
+  // until Seal; the caller must not touch this StateDb until Wait() returns.
+  auto plan = std::make_shared<CommitPlan>(PrepareCommit());
+  SnapshotHandle pending = versioned_->BeginCommit(view_);
+  RootFuture future = RootFuture::Pending();
+  dispatches->Add();
+  commit_pool_->SubmitAsync([this, plan, pending, future]() mutable {
+    future.Set(FinishCommit(*plan, std::move(pending)));
+  });
+  return future;
+}
+
 void StateDb::PrefetchAccount(const Address& addr) {
-  if (flat_ != nullptr && flat_->Covers(root_)) {
-    // Committed-head reads are served O(1) from the flat layer, so there is
+  if (versioned_ != nullptr && view_.valid()) {
+    // Pinned-view reads are served O(1) from the versioned store, so there is
     // no trie path to warm — only the code blob still lives behind the store.
-    if (auto cached = flat_->GetAccount(addr)) {
+    if (auto cached = versioned_->GetAccount(view_, addr)) {
       if (!cached->code_hash.IsZero()) {
         trie_->store()->Get(cached->code_hash);  // heats the code blob
       }
@@ -570,8 +659,8 @@ void StateDb::PrefetchAccount(const Address& addr) {
 }
 
 void StateDb::PrefetchStorage(const Address& addr, const U256& key) {
-  if (flat_ != nullptr && flat_->Covers(root_)) {
-    return;  // slot reads at the covered head never walk the trie
+  if (versioned_ != nullptr && view_.valid()) {
+    return;  // slot reads through a pinned view never walk the trie
   }
   Account account;
   bool have_account = false;

@@ -2,7 +2,10 @@
 // Geth's StateDB: account/storage value caches in front of the trie, a journal
 // with snapshot/revert for nested call frames, and a Commit step that folds
 // dirty values into the tries and produces the post-state root used for the
-// paper's Merkle-root correctness validation (§5.2).
+// paper's Merkle-root correctness validation (§5.2). Committed reads are
+// served O(1) by the multi-version snapshot store (versioned_state.h) when
+// one is attached; the trie remains the authority for roots and for views the
+// store no longer retains.
 #ifndef SRC_STATE_STATEDB_H_
 #define SRC_STATE_STATEDB_H_
 
@@ -27,7 +30,7 @@ struct Account {
 };
 
 // Composite key for one storage slot, shared by the SharedStateCache and the
-// FlatState snapshot maps.
+// versioned snapshot maps.
 struct StateSlotKey {
   Address addr;
   U256 key;
@@ -90,8 +93,8 @@ struct StateDbStats {
   uint64_t account_trie_reads = 0;
   uint64_t storage_trie_reads = 0;
   uint64_t shared_cache_hits = 0;
-  uint64_t flat_hits = 0;         // reads answered by the flat snapshot layer
-  uint64_t flat_misses = 0;       // flat layer attached but not covering root
+  uint64_t versioned_hits = 0;    // reads answered by the versioned snapshot store
+  uint64_t versioned_misses = 0;  // store attached but not retaining this root
   uint64_t snapshots = 0;         // call-frame snapshots taken
   uint64_t reverts = 0;           // RevertToSnapshot calls
   uint64_t entries_reverted = 0;  // journal entries undone by reverts
@@ -100,8 +103,8 @@ struct StateDbStats {
     account_trie_reads += o.account_trie_reads;
     storage_trie_reads += o.storage_trie_reads;
     shared_cache_hits += o.shared_cache_hits;
-    flat_hits += o.flat_hits;
-    flat_misses += o.flat_misses;
+    versioned_hits += o.versioned_hits;
+    versioned_misses += o.versioned_misses;
     snapshots += o.snapshots;
     reverts += o.reverts;
     entries_reverted += o.entries_reverted;
@@ -122,19 +125,79 @@ struct CommitStats {
   double fold_io_seconds = 0;       // store latency deferred inside the folds
 };
 
-class FlatState;
+struct StateVersion;
+class VersionedState;
 class CommitPool;
+
+// A pinned, immutable view of the world state at one committed version of the
+// multi-version store (versioned_state.h). The handle IS the pin: it shares
+// ownership of the version node, so a pinned version — and the delta chain it
+// reads through — survives head advances, rollbacks, and retention pruning
+// until the last handle is released. Copying re-pins; releasing is dropping
+// the copy. Handles are cheap (one shared_ptr) and may be used from any
+// thread, but an individual handle object is not synchronized: share by copy,
+// not by reference.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+
+  bool valid() const { return version_ != nullptr; }
+  // Root/height of the pinned version, captured under the store's lock at
+  // acquisition time (zero / 0 for an invalid or not-yet-sealed handle).
+  const Hash& root() const { return root_; }
+  uint64_t height() const { return height_; }
+  void Release() {
+    version_.reset();
+    root_ = Hash{};
+    height_ = 0;
+  }
+
+ private:
+  friend class VersionedState;
+  SnapshotHandle(std::shared_ptr<StateVersion> version, const Hash& root, uint64_t height)
+      : version_(std::move(version)), root_(root), height_(height) {}
+
+  std::shared_ptr<StateVersion> version_;
+  Hash root_;
+  uint64_t height_ = 0;
+};
+
+// Seal-time handshake for the asynchronous commit pipeline (chain.root_async):
+// the background fold publishes the authenticated root exactly once via Set();
+// Wait() blocks until it lands and is idempotent afterwards. Copies share one
+// underlying slot. A default-constructed future is invalid (nothing pending).
+class RootFuture {
+ public:
+  RootFuture() = default;
+  // A future that already holds `root` (the synchronous-commit case).
+  static RootFuture Ready(const Hash& root);
+  static RootFuture Pending();
+
+  bool valid() const { return slot_ != nullptr; }
+  void Set(const Hash& root);
+  Hash Wait() const;
+
+ private:
+  struct Slot {
+    Mutex mutex;
+    CondVar cv;
+    bool ready FRN_GUARDED_BY(mutex) = false;
+    Hash root FRN_GUARDED_BY(mutex);
+  };
+  std::shared_ptr<Slot> slot_;
+};
 
 class StateDb {
  public:
-  // Opens the world state at `root`. `shared_cache`, `flat` and `commit_pool`
-  // may each be null. When `flat` covers `root`, account and committed-slot
-  // reads are answered O(1) from it (authoritatively: a flat miss under
-  // coverage means definitive absence) and the trie is never walked; Commit
-  // pushes the block's diff onto it. `commit_pool` parallelizes Commit's
+  // Opens the world state at `root`. `shared_cache`, `versioned` and
+  // `commit_pool` may each be null. When `versioned` retains a sealed version
+  // for `root`, the constructor pins it and account/committed-slot reads are
+  // answered O(1) through the handle (authoritatively: a miss under a valid
+  // handle means definitive absence) — the trie is never walked; Commit seals
+  // the block's delta as a new version. `commit_pool` parallelizes Commit's
   // independent storage-subtrie folds; roots are bit-identical either way.
   StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache = nullptr,
-          FlatState* flat = nullptr, CommitPool* commit_pool = nullptr);
+          VersionedState* versioned = nullptr, CommitPool* commit_pool = nullptr);
 
   // ---- Account access ----
   bool Exists(const Address& addr);
@@ -166,6 +229,17 @@ class StateDb {
   // The StateDb remains usable and now reads through the new root.
   Hash Commit();
 
+  // Asynchronous variant for the chain.root_async pipeline: collects the
+  // block's dirty set on the calling thread (cheap — no store traffic), hands
+  // the trie folds + root authentication to the commit pool's background
+  // thread, and returns a future the caller awaits at block-seal time. The
+  // StateDb must not be touched between CommitAsync() and Wait() on the
+  // returned future. Falls back to a ready future around synchronous Commit()
+  // when no commit pool or versioned store is attached or the current view is
+  // not covered (the trie reads inside the folds would then race nothing but
+  // would not be O(1) off the critical path either).
+  RootFuture CommitAsync();
+
   // ---- Prefetch (off the critical path) ----
   // Walks the trie paths for the given account/slot so the store's hot set and
   // the shared cache are populated; never changes logical state.
@@ -174,6 +248,9 @@ class StateDb {
 
   const Hash& root() const { return root_; }
   Mpt* trie() { return trie_; }
+  // The snapshot handle this instance reads through (invalid when no
+  // versioned store is attached or the root was not retained).
+  const SnapshotHandle& view() const { return view_; }
   const StateDbStats& stats() const { return stats_; }
   const CommitStats& commit_stats() const { return commit_stats_; }
 
@@ -187,19 +264,29 @@ class StateDb {
     Hash prev_code_hash;
     bool prev_exists = false;
   };
+  struct CommitPlan;  // the dirty set captured by PrepareCommit (statedb.cc)
 
-  // Loads (and caches) the account object, reading through shared cache and trie.
+  // Loads (and caches) the account object, reading through the pinned
+  // snapshot, the shared cache, and the trie, in that order.
   Account& Load(const Address& addr);
   static Bytes AccountKey(const Address& addr);
   static Bytes StorageKey(const U256& key);
   static Bytes EncodeAccount(const Account& a);
   static bool DecodeAccount(const Bytes& data, Account* out);
 
+  // Commit split: PrepareCommit snapshots the dirty accounts/slots on the
+  // calling thread; FinishCommit runs the trie folds, seals the new version,
+  // and publishes the root (synchronously inline, or on the commit pool's
+  // async thread under chain.root_async).
+  CommitPlan PrepareCommit();
+  Hash FinishCommit(CommitPlan& plan, SnapshotHandle pending);
+
   Mpt* trie_;
   Hash root_;
   SharedStateCache* shared_cache_;
-  FlatState* flat_;
+  VersionedState* versioned_;
   CommitPool* commit_pool_;
+  SnapshotHandle view_;
 
   std::unordered_map<Address, Account, AddressHasher> accounts_;
   // Per-account storage caches: committed values and current (dirty) values.

@@ -1,6 +1,7 @@
 #include "src/trie/kv_store.h"
 
 #include "src/common/clock.h"
+#include "src/state/persist.h"
 
 namespace frn {
 
@@ -36,6 +37,22 @@ KvStore::StageScope::StageScope(StagedWrites* staged) : previous_(tls_staged) {
 }
 
 KvStore::StageScope::~StageScope() { tls_staged = previous_; }
+
+KvStore::KvStore() : KvStore(Options{}) {}
+
+KvStore::KvStore(const Options& options) : options_(options) {
+  if (options_.persist == nullptr) {
+    return;
+  }
+  // Recovery path: blobs replayed from the log enter the map directly —
+  // not counted as writes, not re-logged, not marked hot (a cold start has a
+  // cold cache by definition).
+  std::vector<std::pair<Hash, Bytes>> blobs = options_.persist->TakeReplay();
+  MutexLock lock(data_mutex_);
+  for (auto& [key, value] : blobs) {
+    data_.emplace(key, std::move(value));
+  }
+}
 
 KvStore::HotShard& KvStore::ShardFor(const Hash& key) const {
   return hot_[key.bytes()[0] % kHotShards];
@@ -105,7 +122,14 @@ void KvStore::Put(const Hash& key, Bytes value) {
   }
   {
     MutexLock lock(data_mutex_);
-    data_[key] = std::move(value);
+    auto [it, inserted] = data_.try_emplace(key, std::move(value));
+    if (!inserted) {
+      // Content-addressed: same key, same bytes. Keep the overwrite (exact
+      // pre-persistence semantics) but skip re-logging the identical blob.
+      it->second = std::move(value);
+    } else if (options_.persist != nullptr) {
+      options_.persist->AppendBlob(it->first, it->second);
+    }
   }
   Touch(key);
 }
@@ -117,7 +141,12 @@ void KvStore::ApplyStaged(StagedWrites&& staged) {
   {
     MutexLock lock(data_mutex_);
     for (auto& [key, value] : staged.blobs) {
-      data_[key] = std::move(value);
+      auto [it, inserted] = data_.try_emplace(key, std::move(value));
+      if (!inserted) {
+        it->second = std::move(value);
+      } else if (options_.persist != nullptr) {
+        options_.persist->AppendBlob(it->first, it->second);
+      }
     }
   }
   for (const auto& kv : staged.blobs) {

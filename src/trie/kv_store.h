@@ -31,6 +31,8 @@
 
 namespace frn {
 
+class PersistLog;
+
 // Busy-waits for the given duration (models I/O latency without yielding,
 // matching the discrete-time benchmark methodology: the cost lands on the
 // calling thread's wall clock whether it is the critical path or a worker).
@@ -64,10 +66,16 @@ class KvStore {
   struct Options {
     std::chrono::nanoseconds cold_read_latency{2000};  // ~2us: SSD page + decode
     size_t hot_set_capacity = 1 << 16;
+    // Optional durability (borrowed; must outlive the store): the constructor
+    // replays the log's blobs into the map, and every first-time Put of a key
+    // is appended. The store is content-addressed, so a re-Put of a resident
+    // key carries identical bytes and is not re-logged — log growth is
+    // bounded by distinct blobs, and replay is insert-only.
+    PersistLog* persist = nullptr;
   };
 
-  KvStore() : KvStore(Options{}) {}
-  explicit KvStore(const Options& options) : options_(options) {}
+  KvStore();
+  explicit KvStore(const Options& options);
 
   // Looks up a node blob; charges latency when the key is not hot.
   std::optional<Bytes> Get(const Hash& key);

@@ -106,6 +106,50 @@ TEST_F(ChainRollbackTest, ReorgWindowIsConfigurable) {
   EXPECT_FALSE(node->CanRollback());
 }
 
+TEST_F(ChainRollbackTest, DepthEightRollbackWithVersionedStoreMatchesTrieOnly) {
+  // Widen the undo window to the issue's depth-8 bound. The versioned node
+  // leaves state.retention at 0, so the store's retention derives from
+  // chain.max_reorg_depth — the auto-widening this test also exercises.
+  options_.chain.max_reorg_depth = 8;
+  auto plain = MakeNode();
+  options_.state.versioned = true;
+  options_.chain.root_async = true;
+  options_.chain.commit_workers = 2;
+  auto versioned = MakeNode();
+  ASSERT_TRUE(versioned->versioned_enabled());
+
+  std::vector<Block> blocks;
+  std::vector<Hash> roots;  // roots[k] = root after block k+1
+  for (uint64_t n = 1; n <= 9; ++n) {
+    blocks.push_back(MakeBlock(n));
+    const Hash a = plain->ExecuteBlock(blocks.back(), 13.0 * n).state_root;
+    const Hash b = versioned->ExecuteBlock(blocks.back(), 13.0 * n).state_root;
+    ASSERT_EQ(a, b) << "block " << n;
+    roots.push_back(a);
+  }
+
+  // Walk the full depth-8 window back: every step is a handle swap on the
+  // versioned node and must land on the exact trie-only root.
+  for (size_t depth = 1; depth <= 8; ++depth) {
+    ASSERT_TRUE(versioned->CanRollback());
+    plain->RollbackHead();
+    versioned->RollbackHead();
+    EXPECT_EQ(versioned->head().number, 9u - depth);
+    EXPECT_EQ(versioned->head_root(), plain->head_root());
+    EXPECT_EQ(versioned->head_root(), roots[8 - depth]);
+  }
+  EXPECT_TRUE(versioned->view_active());
+
+  // Replaying the chain forward reproduces every root bit-identically.
+  for (uint64_t n = 2; n <= 9; ++n) {
+    const Hash a = plain->ExecuteBlock(blocks[n - 1], 200.0 + n).state_root;
+    const Hash b = versioned->ExecuteBlock(blocks[n - 1], 200.0 + n).state_root;
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, roots[n - 1]);
+  }
+  EXPECT_EQ(versioned->versioned_stats().invalidations, 0u);
+}
+
 TEST(ChainManagerTest, ForkChoiceAdoptsByHeightThenFirstSeen) {
   ChainManager::BranchTip current{10, 100.0};
   EXPECT_TRUE(ChainManager::ShouldAdopt(current, {11, 200.0}));   // longer wins

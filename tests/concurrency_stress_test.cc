@@ -140,13 +140,17 @@ TEST(ConcurrencyStressTest, KvStoreConcurrentGetPutTouch) {
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> errors{0};
+  std::atomic<size_t> running{0};
   std::vector<std::thread> threads;
   for (size_t r = 0; r < kReaders; ++r) {
     threads.emplace_back([&, r]() {
       KvStoreStats local;
       KvStore::StatsScope scope(&local);
+      running.fetch_add(1, std::memory_order_relaxed);
       uint64_t iter = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
+      // do-while: at least one read even if the writer already finished, so
+      // the local-stats check below cannot trip on scheduling alone.
+      do {
         const Hash& key = keys[(r * 17 + iter) % keys.size()];
         ++iter;
         auto value = store.Get(key);
@@ -157,7 +161,7 @@ TEST(ConcurrencyStressTest, KvStoreConcurrentGetPutTouch) {
         if (iter % 64 == 0) {
           store.Warm(keys[iter % keys.size()]);
         }
-      }
+      } while (!stop.load(std::memory_order_relaxed));
       if (local.reads == 0) {
         errors.fetch_add(1, std::memory_order_relaxed);
       }
@@ -165,8 +169,12 @@ TEST(ConcurrencyStressTest, KvStoreConcurrentGetPutTouch) {
   }
 
   // Writer keeps inserting fresh blobs (the speculative SetCode path) and
-  // evicting the hot set while readers run.
-  for (uint64_t round = 0; round < 2000; ++round) {
+  // evicting the hot set while readers run. It writes at least 2000 rounds
+  // and keeps going until every reader has entered its loop, so the race
+  // actually overlaps even when thread startup is slow.
+  for (uint64_t round = 0;
+       round < 2000 || running.load(std::memory_order_relaxed) < kReaders;
+       ++round) {
     Hash key = Keccak256(Bytes{static_cast<uint8_t>(round), static_cast<uint8_t>(round >> 8), 0xEE});
     store.Put(key, Bytes{0xAB});
     if (round % 512 == 511) {

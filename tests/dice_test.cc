@@ -217,6 +217,39 @@ TEST(DiceIntegrationTest, DeepForkChurnReorgsConsistently) {
   EXPECT_EQ(control.head_root(), baseline.head_root());
 }
 
+TEST(DiceIntegrationTest, DepthEightChurnWithVersionedStoreMatchesTrieOnly) {
+  ScenarioConfig cfg = SmallScenario(0x0F0);
+  cfg.duration = 90;
+  cfg.tx_rate = 6.0;  // enough backlog for rivals to extend deep branches
+  cfg.dice.fork_rate = 0.5;
+  cfg.dice.fork_resolution_delay = 3.0;
+  cfg.dice.max_fork_depth = 8;  // losing branches up to eight blocks deep
+  Workload workload(cfg);
+  DiceSimulator sim(cfg.dice, workload.GenerateTraffic());
+  auto genesis = [&](StateDb* state) { workload.InitGenesis(state); };
+  // Both nodes widen the undo window to cover the deepest fork; the second
+  // additionally runs the versioned store with async root computation, and
+  // must stay bit-identical to the trie-only node through every reorg.
+  NodeOptions trie_only = MakeNodeOptions(cfg, ExecStrategy::kBaseline, sim.miners());
+  trie_only.chain.max_reorg_depth = 8;
+  NodeOptions with_store = trie_only;
+  with_store.state.versioned = true;
+  with_store.chain.root_async = true;
+  Node baseline(trie_only, genesis);
+  Node versioned(with_store, genesis);
+  SimReport report = sim.Run({&baseline, &versioned}, cfg.name);
+  EXPECT_TRUE(report.roots_consistent);  // includes every fork-branch block
+  EXPECT_GT(report.fork_blocks, 0u);
+  EXPECT_GE(report.max_fork_depth_seen, 3u);  // churn actually went deep
+  EXPECT_EQ(baseline.head_root(), versioned.head_root());
+  // The versioned pipeline was live the whole run and never tripped: no
+  // commit was refused, and the view is still active at the end.
+  EXPECT_TRUE(report.nodes[1].versioned_enabled);
+  EXPECT_TRUE(report.nodes[1].state_view_active);
+  EXPECT_EQ(report.nodes[1].versioned.invalidations, 0u);
+  EXPECT_GT(report.nodes[1].versioned.seals, 0u);
+}
+
 TEST(DiceIntegrationTest, SimulationIsDeterministic) {
   // Two independent runs with the same seeds must produce identical chains
   // and identical final state roots (wall-clock timings excluded).

@@ -1,14 +1,14 @@
 // Tests of the state prefetcher: it warms the KvStore hot set and the
 // SharedStateCache for everything a pre-execution read, it never changes
 // logical state (a commit after prefetching reproduces the same root), the
-// shared cache invalidates on Reset to a new root, and a flat-covered root
+// shared cache invalidates on Reset to a new root, and a version-retained root
 // skips the trie walks entirely.
 #include "src/forerunner/prefetcher.h"
 
 #include <gtest/gtest.h>
 
 #include "src/crypto/keccak.h"
-#include "src/state/flat_state.h"
+#include "src/state/versioned_state.h"
 #include "src/state/statedb.h"
 
 namespace frn {
@@ -118,53 +118,54 @@ TEST_F(PrefetcherTest, SharedCacheInvalidatesOnRootReset) {
   EXPECT_EQ(cache.root(), new_root);
 }
 
-TEST_F(PrefetcherTest, FlatCoveredRootSkipsTrieWalks) {
-  FlatState flat(4);
+TEST_F(PrefetcherTest, RetainedRootSkipsTrieWalks) {
+  VersionedState versioned(4);
   Hash root;
   {
-    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &versioned);
     db.AddBalance(a_, U256(100));
     db.SetStorage(a_, U256(1), U256(11));
     db.AddBalance(b_, U256(200));
     root = db.Commit();
   }
-  ASSERT_TRUE(flat.Covers(root));
+  ASSERT_TRUE(versioned.AcquireAt(root).valid());
   store_.CoolAll();
   store_.ResetStats();
 
   SharedStateCache cache;
   cache.Reset(root);
-  Prefetcher prefetcher(&trie_, &cache, &flat);
+  Prefetcher prefetcher(&trie_, &cache, &versioned);
   prefetcher.Prefetch(root, ReadsForAB());
 
-  // Accounts and slots are already O(1) through the flat maps and none of
-  // these accounts carry code, so the prefetch touches the store not at all.
+  // Accounts and slots are already O(1) through the pinned snapshot handle
+  // and none of these accounts carry code, so the prefetch touches the store
+  // not at all.
   EXPECT_EQ(store_.stats().reads, 0u);
   EXPECT_EQ(store_.stats().cold_reads, 0u);
 }
 
-TEST_F(PrefetcherTest, FlatCoveredRootStillHeatsCodeBlobs) {
-  FlatState flat(4);
+TEST_F(PrefetcherTest, RetainedRootStillHeatsCodeBlobs) {
+  VersionedState versioned(4);
   Hash root;
   Bytes code{0x60, 0x00, 0x60, 0x00, 0xF3};
   {
-    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &versioned);
     db.AddBalance(a_, U256(100));
     db.SetCode(a_, code);
     root = db.Commit();
   }
-  ASSERT_TRUE(flat.Covers(root));
+  ASSERT_TRUE(versioned.AcquireAt(root).valid());
   store_.CoolAll();
   store_.ResetStats();
 
   SharedStateCache cache;
   cache.Reset(root);
-  Prefetcher prefetcher(&trie_, &cache, &flat);
+  Prefetcher prefetcher(&trie_, &cache, &versioned);
   ReadSet reads;
   reads.accounts = {a_};
   prefetcher.Prefetch(root, reads);
 
-  // Code lives behind the store, not in the flat maps: the prefetch pays
+  // Code lives behind the store, not in the version maps: the prefetch pays
   // exactly the code-blob read (no trie-node walks) and leaves it hot.
   EXPECT_EQ(store_.stats().reads, 1u);
   Hash code_hash = Keccak256(code);

@@ -5,7 +5,7 @@
 #include <set>
 
 #include "src/common/rng.h"
-#include "src/state/flat_state.h"
+#include "src/state/versioned_state.h"
 
 namespace frn {
 namespace {
@@ -297,52 +297,54 @@ TEST(SlotKeyHasherTest, AddressContributesToLowBits) {
   EXPECT_GE(buckets.size(), 200u);  // ~256 bins, near-full coverage expected
 }
 
-TEST_F(StateDbTest, FlatLayerServesCommittedReadsWithoutTrieWalks) {
-  FlatState flat(/*max_layers=*/4);
+TEST_F(StateDbTest, VersionedStoreServesCommittedReadsWithoutTrieWalks) {
+  VersionedState versioned(/*retention=*/4);
   Address a = Address::FromId(1);
   Address b = Address::FromId(2);
   Hash root;
   {
-    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &flat);
+    StateDb db(&trie_, Mpt::EmptyRoot(), nullptr, &versioned);
     db.AddBalance(a, U256(100));
     db.SetStorage(a, U256(1), U256(11));
     db.AddBalance(b, U256(200));
     root = db.Commit();
   }
-  ASSERT_TRUE(flat.Covers(root));
+  ASSERT_TRUE(versioned.AcquireAt(root).valid());
 
-  StateDb db(&trie_, root, nullptr, &flat);
+  StateDb db(&trie_, root, nullptr, &versioned);
+  ASSERT_TRUE(db.view().valid());
   EXPECT_EQ(db.GetBalance(a), U256(100));
   EXPECT_EQ(db.GetStorage(a, U256(1)), U256(11));
   EXPECT_EQ(db.GetBalance(b), U256(200));
-  // A key never written reads as zero through the flat layer's authoritative
-  // absence, still without touching the trie.
+  // A key never written reads as zero through the version chain's
+  // authoritative absence, still without touching the trie.
   EXPECT_EQ(db.GetStorage(b, U256(9)), U256(0));
   EXPECT_EQ(db.GetBalance(Address::FromId(3)), U256(0));
 
   StateDbStats s = db.stats();
-  EXPECT_GT(s.flat_hits, 0u);
+  EXPECT_GT(s.versioned_hits, 0u);
   EXPECT_EQ(s.account_trie_reads, 0u);
   EXPECT_EQ(s.storage_trie_reads, 0u);
 }
 
-TEST_F(StateDbTest, FlatMissFallsBackToTrieOnUncoveredRoot) {
-  FlatState flat(/*max_layers=*/4);
+TEST_F(StateDbTest, VersionedMissFallsBackToTrieOnUnretainedRoot) {
+  VersionedState versioned(/*retention=*/4);
   Address a = Address::FromId(1);
   Hash root;
   {
-    // Commit WITHOUT the flat layer: flat still sits at the empty root and
-    // does not cover the resulting state.
+    // Commit WITHOUT the versioned store: it retains no version at the
+    // resulting root, so the view opens uncovered.
     StateDb db(&trie_, Mpt::EmptyRoot());
     db.AddBalance(a, U256(5));
     root = db.Commit();
   }
-  ASSERT_FALSE(flat.Covers(root));
+  ASSERT_FALSE(versioned.AcquireAt(root).valid());
 
-  StateDb db(&trie_, root, nullptr, &flat);
+  StateDb db(&trie_, root, nullptr, &versioned);
+  EXPECT_FALSE(db.view().valid());
   EXPECT_EQ(db.GetBalance(a), U256(5));
   StateDbStats s = db.stats();
-  EXPECT_EQ(s.flat_hits, 0u);
+  EXPECT_EQ(s.versioned_hits, 0u);
   EXPECT_GT(s.account_trie_reads, 0u);
 }
 

@@ -6,7 +6,12 @@
 #                   [skipped when clang-format is not installed]
 #   tier1           default build + full ctest suite (build/)
 #   reorg-gate      bench_reorg_stress determinism/consistency gate
-#   flat-gate       bench_flat_state equivalence gate
+#   flat-gate       bench_flat_state equivalence gate (versioned store vs
+#                   trie-only, no-fork invalidation gate)
+#   versioned-gate  bench_versioned_state gates: handle-acquire cost, async
+#                   commit critical-path reduction, reorg-depth sweep
+#   persist-smoke   cold-start/recovery: run forerunner_sim with a persist
+#                   dir, reopen it with `recover`, require the same head root
 #   thread-safety   clang build with -Wthread-safety -Werror=thread-safety
 #                   against the annotated wrappers in src/common/sync.h
 #                   [skipped when clang++ is not installed]
@@ -63,7 +68,8 @@ format_files=(
 tidy_files=(
   src/trie/kv_store.cc
   src/state/statedb.cc
-  src/state/flat_state.cc
+  src/state/versioned_state.cc
+  src/state/persist.cc
   src/state/commit_pool.cc
   src/forerunner/spec_pool.cc
   src/obs/registry.cc
@@ -126,6 +132,33 @@ stage_flat_gate() {
   "${repo_root}/build/bench/bench_flat_state" --json "${repo_root}/build/BENCH_flat_state.json"
 }
 
+stage_versioned_gate() {
+  "${repo_root}/build/bench/bench_versioned_state" --json "${repo_root}/build/BENCH_versioned_state.json"
+}
+
+stage_persist_smoke() {
+  local dir
+  dir="$(mktemp -d)" || return 1
+  local sim="${repo_root}/build/tools/forerunner_sim"
+  local run_out recover_out run_root recover_root status=1
+  if run_out="$("${sim}" run --scenario L1 --duration 20 --versioned 1 \
+      --root-async 1 --persist-dir "${dir}/state")" &&
+     recover_out="$("${sim}" recover --persist-dir "${dir}/state")"; then
+    echo "${run_out}" | tail -n 3
+    echo "${recover_out}"
+    run_root="$(echo "${run_out}" | awk '/persisted head root:/ {print $4}')"
+    recover_root="$(echo "${recover_out}" | awk '/recovered head root:/ {print $4}')"
+    if [[ -n "${run_root}" && "${run_root}" == "${recover_root}" ]] &&
+       echo "${recover_out}" | grep -q "recovery check: ok"; then
+      status=0
+    else
+      echo "persist-smoke: head root mismatch (run=${run_root} recover=${recover_root})" >&2
+    fi
+  fi
+  rm -rf "${dir}"
+  return "${status}"
+}
+
 stage_thread_safety() {
   cmake -S "${repo_root}" -B "${repo_root}/build-clang" \
     -DCMAKE_CXX_COMPILER=clang++ -DFRN_THREAD_SAFETY=ON >/dev/null &&
@@ -175,6 +208,8 @@ fi
 run_stage tier1 stage_tier1
 run_stage reorg-gate stage_reorg_gate
 run_stage flat-gate stage_flat_gate
+run_stage versioned-gate stage_versioned_gate
+run_stage persist-smoke stage_persist_smoke
 
 if command -v clang++ >/dev/null 2>&1; then
   run_stage thread-safety stage_thread_safety

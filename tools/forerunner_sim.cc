@@ -3,11 +3,13 @@
 // Usage:
 //   forerunner_sim run [--scenario L1] [--strategy forerunner|baseline|
 //                       perfect|perfect-multi] [--duration SECONDS]
-//                      [--fork-depth N] [--flat 0|1] [--commit-workers N]
-//                      [--record FILE] [--trace-out FILE]
+//                      [--fork-depth N] [--versioned 0|1] [--retention N]
+//                      [--root-async 0|1] [--persist-dir DIR]
+//                      [--commit-workers N] [--record FILE] [--trace-out FILE]
 //                      [--stats-out FILE] [--trace-sample RATE]
 //   forerunner_sim replay --from FILE [--strategy ...] [--trace-out FILE]
 //                         [--stats-out FILE]
+//   forerunner_sim recover --persist-dir DIR
 //   forerunner_sim scenarios
 //
 // `run` drives live emulated traffic through a baseline node plus the chosen
@@ -16,18 +18,26 @@
 // --trace-out captures the transaction-lifecycle spans as Chrome trace_event
 // JSON (load it in chrome://tracing or feed it to tools/trace_summary.py);
 // --stats-out writes the strategy node's stats plus the global metrics
-// registry snapshot. --flat 1 enables the flat snapshot state layer and
-// --commit-workers N the parallel trie commit on the strategy node only, so
-// the "roots consistent" line doubles as a flat-on vs flat-off identity check
-// against the trie-backed baseline.
+// registry snapshot. --versioned 1 (alias: --flat 1) enables the versioned
+// snapshot state store, --root-async 1 moves Merkle-root computation off the
+// critical path, and --commit-workers N the parallel trie commit — all on the
+// strategy node only, so the "roots consistent" line doubles as a
+// versioned-on vs versioned-off identity check against the trie-backed
+// baseline. --persist-dir attaches an append-only segment log under DIR; a
+// later `recover` run (or another `run` over the same DIR) reopens the store
+// at the persisted head root. --retention deepens the version window beyond
+// the max(fork depth, chain.max_reorg_depth) floor; a nonzero value shallower
+// than the configured fork depth is rejected.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "src/obs/trace.h"
 #include "src/replay/recording.h"
+#include "src/state/persist.h"
 
 using namespace frn;
 
@@ -63,12 +73,14 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  forerunner_sim run [--scenario L1] [--strategy forerunner] "
-               "[--duration SEC] [--fork-depth N] [--flat 0|1] "
+               "[--duration SEC] [--fork-depth N] [--versioned 0|1] "
+               "[--retention N] [--root-async 0|1] [--persist-dir DIR] "
                "[--commit-workers N] [--record FILE] "
                "[--trace-out FILE] [--stats-out FILE] [--trace-sample RATE]\n"
                "  forerunner_sim replay --from FILE [--strategy forerunner] "
-               "[--flat 0|1] [--commit-workers N] "
+               "[--versioned 0|1] [--root-async 0|1] [--commit-workers N] "
                "[--trace-out FILE] [--stats-out FILE]\n"
+               "  forerunner_sim recover --persist-dir DIR\n"
                "  forerunner_sim scenarios\n");
   return 2;
 }
@@ -114,7 +126,10 @@ int main(int argc, char** argv) {
   double trace_sample = 1.0;
   double duration = 0;
   size_t fork_depth = 0;
-  bool flat_enabled = false;
+  bool versioned_enabled = false;
+  bool root_async = false;
+  size_t retention = 0;
+  std::string persist_dir;
   size_t commit_workers = 0;
   for (int i = 2; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
@@ -127,8 +142,14 @@ int main(int argc, char** argv) {
       duration = std::stod(value);
     } else if (flag == "--fork-depth") {
       fork_depth = static_cast<size_t>(std::stoul(value));
-    } else if (flag == "--flat") {
-      flat_enabled = value != "0";
+    } else if (flag == "--versioned" || flag == "--flat") {
+      versioned_enabled = value != "0";
+    } else if (flag == "--root-async") {
+      root_async = value != "0";
+    } else if (flag == "--retention") {
+      retention = static_cast<size_t>(std::stoul(value));
+    } else if (flag == "--persist-dir") {
+      persist_dir = value;
     } else if (flag == "--commit-workers") {
       commit_workers = static_cast<size_t>(std::stoul(value));
     } else if (flag == "--record") {
@@ -164,6 +185,64 @@ int main(int argc, char** argv) {
 
   ExecStrategy strategy = ParseStrategy(strategy_name);
 
+  // Knob consistency: async root sealing needs a covered view to keep
+  // critical-path readers consistent while the folds run, and an explicit
+  // retention shallower than the configured fork depth could not serve the
+  // reorgs the scenario will drive.
+  if (root_async && !versioned_enabled) {
+    std::fprintf(stderr, "--root-async 1 requires --versioned 1\n");
+    return 2;
+  }
+  if (retention != 0 && fork_depth != 0 && retention < fork_depth) {
+    std::fprintf(stderr,
+                 "--retention %zu is shallower than --fork-depth %zu; drop "
+                 "--retention to derive it (max of fork depth and the reorg "
+                 "window) or set it >= the fork depth\n",
+                 retention, fork_depth);
+    return 2;
+  }
+
+  if (command == "recover") {
+    if (persist_dir.empty()) {
+      return Usage();
+    }
+    std::string error;
+    std::unique_ptr<PersistLog> log = PersistLog::Open(persist_dir, &error);
+    if (log == nullptr) {
+      std::fprintf(stderr, "recover: %s\n", error.c_str());
+      return 1;
+    }
+    if (!log->has_head()) {
+      std::fprintf(stderr, "recover: no head marker in %s\n", persist_dir.c_str());
+      return 1;
+    }
+    // Replaying the segment log through a fresh store is the whole recovery:
+    // if the head root's trie node survived, every node under it did too
+    // (blobs are appended before the head marker that references them).
+    KvStore::Options store_options;
+    store_options.persist = log.get();
+    KvStore store(store_options);
+    const PersistLogStats& stats = log->stats();
+    std::printf("replayed %lu blobs across %lu segments (%lu truncated records)\n",
+                (unsigned long)stats.blobs_replayed, (unsigned long)stats.segments_replayed,
+                (unsigned long)stats.truncated_records);
+    std::printf("recovered head root: %s height %lu\n", log->head_root().ToHex().c_str(),
+                (unsigned long)log->head_height());
+    bool ok = log->head_root() == Mpt::EmptyRoot() || store.Contains(log->head_root());
+    std::printf("recovery check: %s\n", ok ? "ok" : "FAILED (head root missing from replayed store)");
+    return ok ? 0 : 1;
+  }
+
+  std::unique_ptr<PersistLog> persist_log;
+  if (!persist_dir.empty()) {
+    std::string error;
+    persist_log = PersistLog::Open(persist_dir, &error);
+    if (persist_log == nullptr) {
+      std::fprintf(stderr, "failed to open persist dir: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
   if (command == "run") {
     ScenarioConfig cfg = ScenarioByName(scenario);
     if (duration > 0) {
@@ -190,7 +269,10 @@ int main(int argc, char** argv) {
       return options;
     };
     NodeOptions strategy_options = make_options(strategy);
-    strategy_options.flat.enabled = flat_enabled;
+    strategy_options.state.versioned = versioned_enabled;
+    strategy_options.state.retention = retention;
+    strategy_options.state.persist = persist_log.get();
+    strategy_options.chain.root_async = root_async;
     if (commit_workers > 0) {
       strategy_options.chain.commit_workers = commit_workers;
     }
@@ -198,6 +280,11 @@ int main(int argc, char** argv) {
     Node node(strategy_options, genesis);
     SimReport report = sim.Run({&baseline, &node}, cfg.name);
     PrintSummary(report, 1);
+    if (persist_log != nullptr) {
+      std::printf("persisted head root: %s height %lu\n",
+                  persist_log->head_root().ToHex().c_str(),
+                  (unsigned long)persist_log->head_height());
+    }
     if (!record_path.empty()) {
       Recording recording = CaptureRecording(report, traffic);
       if (!WriteRecording(recording, record_path)) {
@@ -237,7 +324,10 @@ int main(int argc, char** argv) {
       return options;
     };
     NodeOptions strategy_options = make_options(strategy);
-    strategy_options.flat.enabled = flat_enabled;
+    strategy_options.state.versioned = versioned_enabled;
+    strategy_options.state.retention = retention;
+    strategy_options.state.persist = persist_log.get();
+    strategy_options.chain.root_async = root_async;
     if (commit_workers > 0) {
       strategy_options.chain.commit_workers = commit_workers;
     }
