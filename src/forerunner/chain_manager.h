@@ -40,6 +40,12 @@ struct ChainManagerOptions {
   // 1 (the default) runs the folds inline on the coordinator in the exact
   // serial operation order; any count produces bit-identical roots.
   size_t commit_workers = 1;
+  // Modeled lanes for the optimistic intra-block parallel executor
+  // (src/forerunner/parallel_exec.h). 1 (the default) executes the block's
+  // transactions bit-for-bit serially on the coordinator; any count >1 runs
+  // them optimistically with conflict detection and produces identical
+  // commit roots — the serial-default guarantee mirrors commit_workers.
+  size_t block_workers = 1;
   // Off-critical-path root authentication: CommitState() returns after
   // capturing the block's dirty set, the trie folds run on the commit pool's
   // background thread, and SealRoot() awaits the authenticated root at

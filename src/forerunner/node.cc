@@ -49,6 +49,13 @@ Node::Node(const NodeOptions& options, const std::function<void(StateDb*)>& gene
       spec_pool_(&trie_, options.speculator, ResolveSpecWorkers(options),
                  /*physical_threads=*/0, versioned_.get()),
       prefetcher_(&trie_, &shared_cache_, versioned_.get()),
+      parallel_exec_(options.chain.block_workers > 1
+                         ? std::make_unique<ParallelBlockExecutor>(
+                               &trie_, &shared_cache_, versioned_.get(),
+                               ParallelExecOptions{options.chain.block_workers,
+                                                   /*physical_threads=*/0,
+                                                   /*max_rounds=*/0})
+                         : nullptr),
       mempool_(options.mempool),
       spec_(options.spec),
       chain_(&trie_, &shared_cache_, options.chain, versioned_.get()) {
@@ -137,6 +144,83 @@ void Node::RunSpeculationPipeline(double sim_time) {
                      });
 }
 
+bool Node::ExecuteTxsParallel(const Block& block, double sim_time,
+                              BlockExecReport* report, double* wall_adjust) {
+  static Counter* txs_counter = MetricsRegistry::Global().GetCounter("exec.txs");
+  static Counter* txs_speculated = MetricsRegistry::Global().GetCounter("exec.txs_speculated");
+  static Counter* exec_gas = MetricsRegistry::Global().GetCounter("exec.gas");
+  static SecondsCounter* cp_seconds = MetricsRegistry::Global().GetSeconds("exec.cp_seconds");
+  static ExpHistogram* tx_seconds_hist =
+      MetricsRegistry::Global().GetHistogram("exec.tx_seconds");
+
+  std::vector<const TxSpeculation*> specs(block.txs.size(), nullptr);
+  if (options_.strategy != ExecStrategy::kBaseline) {
+    for (size_t i = 0; i < block.txs.size(); ++i) {
+      // Same lookup the serial loop performs per tx; AP fast-path hits feed
+      // the optimistic first attempts directly.
+      specs[i] = spec_.Lookup(block.txs[i].id, sim_time);
+    }
+  }
+  std::vector<ParallelTxResult> results;
+  ParallelBlockStats stats;
+  const bool converged =
+      parallel_exec_->ExecuteBlock(chain_.head_root(), block.header, block.txs, specs,
+                                   options_.strategy, &results, &stats);
+  parallel_totals_.rounds += stats.rounds;
+  parallel_totals_.executions += stats.executions;
+  parallel_totals_.reexecutions += stats.reexecutions;
+  parallel_totals_.validation_failures += stats.validation_failures;
+  parallel_totals_.conflicts += stats.conflicts;
+  parallel_totals_.exec_serial_seconds += stats.exec_serial_seconds;
+  parallel_totals_.exec_wall_seconds += stats.exec_wall_seconds;
+  parallel_totals_.exec_real_seconds += stats.exec_real_seconds;
+  parallel_totals_.validate_seconds += stats.validate_seconds;
+  parallel_totals_.fallback_serial |= stats.fallback_serial;
+  if (!converged) {
+    return false;
+  }
+
+  // Merge: replay the converged write sets through the chain state's normal
+  // journaled setters in transaction order — the dirty set the commit then
+  // folds is bit-identical to the serial loop's.
+  StateDb* state = chain_.state();
+  for (size_t i = 0; i < block.txs.size(); ++i) {
+    const Transaction& tx = block.txs[i];
+    state->ApplyWriteSet(results[i].writes, block.header.coinbase);
+
+    TxExecRecord record;
+    record.tx_id = tx.id;
+    record.heard = mempool_.Contains(tx.id);
+    record.speculated = specs[i] != nullptr;
+    // Per-tx cost is the committed attempt's modeled cost (thread CPU plus
+    // deferred store latency) — the lane-time the block's modeled wall is
+    // made of, where the serial loop reports a per-tx stopwatch.
+    record.seconds = results[i].last_cost_seconds;
+    const AccelOutcome& outcome = results[i].outcome;
+    record.accelerated = outcome.accelerated;
+    record.perfect = outcome.perfect;
+    record.gas_used = outcome.result.gas_used;
+    record.status = outcome.result.status;
+    record.instrs_executed = outcome.instrs_executed;
+    record.instrs_skipped = outcome.instrs_skipped;
+    txs_counter->Add();
+    if (record.speculated) {
+      txs_speculated->Add();
+    }
+    exec_gas->Add(record.gas_used);
+    cp_seconds->Add(record.seconds);
+    tx_seconds_hist->Record(record.seconds);
+    report->txs.push_back(record);
+
+    if (record.status != ExecStatus::kBadNonce &&
+        record.status != ExecStatus::kInsufficientBalance) {
+      chain_.chain_nonces()[tx.sender] = tx.nonce + 1;
+    }
+  }
+  *wall_adjust = stats.exec_wall_seconds - stats.exec_real_seconds;
+  return true;
+}
+
 BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
   // Snapshot the pre-block state into the chain manager's undo window.
   chain_.BeginBlock(block, sim_time);
@@ -159,7 +243,21 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
   report.txs.reserve(block.txs.size());
   TraceSpan block_span(collector, "block", "block.exec", block_wall);
   Stopwatch block_watch;
-  for (const Transaction& tx : block.txs) {
+  // Optimistic parallel path (chain.block_workers > 1): converged blocks are
+  // merged write-set-by-write-set in transaction order, so everything below
+  // the execution loop — commit, seal, head advance — is shared with the
+  // serial path and roots stay bit-identical. A fallback (fee-account sender,
+  // round bound) drops to the serial loop.
+  double wall_adjust = 0;
+  bool executed = false;
+  if (parallel_exec_ != nullptr && !block.txs.empty()) {
+    executed = ExecuteTxsParallel(block, sim_time, &report, &wall_adjust);
+    if (!executed) {
+      ++parallel_fallbacks_;
+    }
+  }
+  const std::vector<Transaction> no_txs;
+  for (const Transaction& tx : executed ? no_txs : block.txs) {
     TxExecRecord record;
     record.tx_id = tx.id;
     record.heard = mempool_.Contains(tx.id);
@@ -213,7 +311,10 @@ BlockExecReport Node::ExecuteBlock(const Block& block, double sim_time) {
     chain_.CommitState();
   }
   report.state_root = chain_.SealRoot();
-  report.total_seconds = block_watch.ElapsedSeconds();
+  // wall_adjust swaps the parallel path's physically-measured execute phases
+  // for their modeled max-over-lanes wall (zero on the serial path), the same
+  // convention DiCE already uses for speculation and commit-fold walls.
+  report.total_seconds = block_watch.ElapsedSeconds() + wall_adjust;
   blocks->Add();
   block_span.AddArg(TraceArg::U64("number", block.header.number));
   block_span.AddArg(TraceArg::U64("txs", block.txs.size()));
@@ -332,6 +433,7 @@ JsonValue Node::StatsJson() const {
   chain_json.Set("reorg_window", static_cast<uint64_t>(chain_.reorg_window()));
   chain_json.Set("max_reorg_depth", static_cast<uint64_t>(chain_.max_reorg_depth()));
   chain_json.Set("commit_workers", static_cast<uint64_t>(chain_.commit_workers()));
+  chain_json.Set("block_workers", static_cast<uint64_t>(options_.chain.block_workers));
   chain_json.Set("rollbacks", chain_.rollbacks());
   StateDbStats state = chain_state_stats();
   chain_json.Set("account_trie_reads", state.account_trie_reads);
@@ -360,6 +462,20 @@ JsonValue Node::StatsJson() const {
     state_json.Set("slots", static_cast<uint64_t>(vs.slots));
   }
   node.Set("state", std::move(state_json));
+
+  if (parallel_exec_ != nullptr) {
+    JsonValue par = JsonValue::Object();
+    par.Set("rounds", static_cast<uint64_t>(parallel_totals_.rounds));
+    par.Set("executions", parallel_totals_.executions);
+    par.Set("reexecutions", parallel_totals_.reexecutions);
+    par.Set("validation_failures", parallel_totals_.validation_failures);
+    par.Set("conflicts", parallel_totals_.conflicts);
+    par.Set("exec_serial_seconds", parallel_totals_.exec_serial_seconds);
+    par.Set("exec_wall_seconds", parallel_totals_.exec_wall_seconds);
+    par.Set("validate_seconds", parallel_totals_.validate_seconds);
+    par.Set("fallbacks", parallel_fallbacks_);
+    node.Set("exec_parallel", std::move(par));
+  }
 
   JsonValue doc = JsonValue::Object();
   doc.Set("node", std::move(node));

@@ -23,6 +23,7 @@
 #include "src/forerunner/accelerator.h"
 #include "src/forerunner/chain_manager.h"
 #include "src/forerunner/mempool.h"
+#include "src/forerunner/parallel_exec.h"
 #include "src/forerunner/predictor.h"
 #include "src/forerunner/prefetcher.h"
 #include "src/forerunner/spec_manager.h"
@@ -171,6 +172,15 @@ class Node {
     return spec_.executed_speculations();
   }
 
+  // Optimistic intra-block parallel executor introspection
+  // (chain.block_workers > 1; null executor == bit-for-bit serial blocks).
+  size_t block_workers() const { return options_.chain.block_workers; }
+  bool parallel_exec_enabled() const { return parallel_exec_ != nullptr; }
+  // Cumulative across all executed blocks (rounds, conflicts, re-executions,
+  // modeled wall); fallback_serial is true if any block fell back.
+  const ParallelBlockStats& parallel_stats() const { return parallel_totals_; }
+  uint64_t parallel_fallbacks() const { return parallel_fallbacks_; }
+
   // Parallel speculation engine introspection.
   size_t spec_workers() const { return spec_pool_.workers(); }
   const std::vector<SpecWorkerStats>& spec_worker_stats() const {
@@ -184,6 +194,15 @@ class Node {
   bool WriteStatsJson(const std::string& path) const;
 
  private:
+  // Parallel block attempt: executes the block's transactions through the
+  // optimistic executor and merges the converged write sets in transaction
+  // order. Returns false (leaving `report` untouched) when the executor fell
+  // back — the caller then runs the serial loop. `wall_adjust` receives the
+  // modeled-minus-real execution wall so report.total_seconds charges the
+  // block at its modeled lane cost (the SpecPool accounting convention).
+  bool ExecuteTxsParallel(const Block& block, double sim_time,
+                          BlockExecReport* report, double* wall_adjust);
+
   NodeOptions options_;
   KvStore store_;
   Mpt trie_;
@@ -196,6 +215,10 @@ class Node {
   MultiFuturePredictor predictor_;
   SpecPool spec_pool_;
   Prefetcher prefetcher_;
+  // Null when chain.block_workers <= 1 (serial blocks, the default).
+  std::unique_ptr<ParallelBlockExecutor> parallel_exec_;
+  ParallelBlockStats parallel_totals_;
+  uint64_t parallel_fallbacks_ = 0;
 
   Mempool mempool_;
   SpeculationManager spec_;

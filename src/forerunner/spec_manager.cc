@@ -37,6 +37,11 @@ std::vector<SpecJob> SpeculationManager::BuildJobs(
         }
       }
       if (covered) {
+        // A covered skip is a *use* of the entry: the retained speculation is
+        // exactly what keeps head execution accelerated. Refresh its LRU, or
+        // the cache's hottest entries — skipped every round because a root
+        // still covers head — age out before cold entries speculated once.
+        it->second.lru = ++lru_counter_;
         ++root_skips_;
         root_skip_counter->Add();
         if (older_root || it->second.restored) {

@@ -1,0 +1,112 @@
+#include "src/state/block_stm.h"
+
+#include <algorithm>
+
+namespace frn {
+
+std::optional<std::pair<int32_t, Account>> MvMemory::LatestAccount(const Address& addr,
+                                                                   size_t reader) const {
+  ReaderLock lock(mutex_);
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end()) {
+    return std::nullopt;
+  }
+  // Version lists are ascending by writer index; the newest writer below the
+  // reader is the last qualifying entry.
+  const auto& versions = it->second;
+  for (auto rit = versions.rbegin(); rit != versions.rend(); ++rit) {
+    if (rit->first < reader) {
+      return std::make_pair(static_cast<int32_t>(rit->first), rit->second);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<int32_t, U256>> MvMemory::LatestSlot(const StateSlotKey& slot,
+                                                             size_t reader) const {
+  ReaderLock lock(mutex_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    return std::nullopt;
+  }
+  const auto& versions = it->second;
+  for (auto rit = versions.rbegin(); rit != versions.rend(); ++rit) {
+    if (rit->first < reader) {
+      return std::make_pair(static_cast<int32_t>(rit->first), rit->second);
+    }
+  }
+  return std::nullopt;
+}
+
+void MvMemory::Publish(size_t tx_index, const TxWriteSet& writes) {
+  MutexLock lock(mutex_);
+  for (const auto& [addr, account] : writes.accounts) {
+    accounts_[addr].emplace_back(static_cast<uint32_t>(tx_index), account);
+  }
+  for (const auto& [slot, value] : writes.slots) {
+    slots_[slot].emplace_back(static_cast<uint32_t>(tx_index), value);
+  }
+  committed_ = tx_index + 1;
+}
+
+size_t MvMemory::committed() const {
+  ReaderLock lock(mutex_);
+  return committed_;
+}
+
+std::optional<Account> BlockStmView::OverlayAccount(const Address& addr) {
+  if (addr == fee_) {
+    return std::nullopt;  // commutative fee credits; neither served nor recorded
+  }
+  auto hit = mv_->LatestAccount(addr, tx_index_);
+  if (seen_accounts_.insert(addr).second) {
+    BlockStmReadDesc read;
+    read.is_account = true;
+    read.addr = addr;
+    read.version = hit ? hit->first : kPreBlockVersion;
+    reads_.push_back(read);
+  }
+  if (!hit) {
+    return std::nullopt;
+  }
+  return hit->second;
+}
+
+std::optional<U256> BlockStmView::OverlayStorage(const Address& addr, const U256& key) {
+  const StateSlotKey slot{addr, key};
+  auto hit = mv_->LatestSlot(slot, tx_index_);
+  if (seen_slots_.emplace(slot, true).second) {
+    BlockStmReadDesc read;
+    read.is_account = false;
+    read.addr = addr;
+    read.key = key;
+    read.version = hit ? hit->first : kPreBlockVersion;
+    reads_.push_back(read);
+  }
+  if (!hit) {
+    return std::nullopt;
+  }
+  return hit->second;
+}
+
+bool ValidateBlockStmReads(const MvMemory& mv, size_t tx_index,
+                           const std::vector<BlockStmReadDesc>& reads) {
+  for (const BlockStmReadDesc& read : reads) {
+    int32_t now = kPreBlockVersion;
+    if (read.is_account) {
+      if (auto hit = mv.LatestAccount(read.addr, tx_index)) {
+        now = hit->first;
+      }
+    } else {
+      if (auto hit = mv.LatestSlot(StateSlotKey{read.addr, read.key}, tx_index)) {
+        now = hit->first;
+      }
+    }
+    if (now != read.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace frn

@@ -1,0 +1,116 @@
+// In-block multi-version write buffer for the optimistic parallel block
+// executor (Block-STM style; Dickerson et al.'s abort/re-execute discipline,
+// Saraph & Herlihy's low-conflict observation — PAPERS.md). The structures
+// here are the state-layer half: MvMemory holds the committed-prefix write
+// sets of lower-indexed transactions, BlockStmView adapts one attempt's reads
+// to the StateDb overlay hook while recording a read descriptor per first
+// touch, and ValidateBlockStmReads re-resolves a completed attempt's reads so
+// the executor (src/forerunner/parallel_exec.h) can decide commit vs
+// re-execute. The executor publishes write sets in ascending transaction
+// order only (prefix commit), which keeps every per-key version list sorted
+// by construction and makes conflict counts deterministic at any worker
+// count.
+//
+// Fee-account exemption: every transaction credits the block coinbase its
+// gas fee, so treating the coinbase balance as an ordinary versioned value
+// would conflict every pair of transactions and serialize the block. The
+// view exempts the fee account from the overlay entirely — reads of it serve
+// the pre-block value and are not recorded — and the write-set extraction
+// carries the net credit as a commutative delta (TxWriteSet::fee_delta)
+// applied serially in transaction order at merge time. The executor falls
+// back to serial execution when the fee account itself sends a transaction;
+// a contract that reads the coinbase balance mid-block is outside the
+// modeled workloads (documented limitation, DESIGN.md §11).
+#ifndef SRC_STATE_BLOCK_STM_H_
+#define SRC_STATE_BLOCK_STM_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/sync.h"
+#include "src/state/statedb.h"
+
+namespace frn {
+
+// A read resolved to no in-block writer: the attempt observed the pre-block
+// snapshot value.
+inline constexpr int32_t kPreBlockVersion = -1;
+
+// One first-touch read made by an attempt: which key, and which committed
+// writer (transaction index) supplied the value. Validation re-resolves the
+// key and compares versions — committed write sets are immutable, so an
+// unchanged version implies an unchanged value.
+struct BlockStmReadDesc {
+  bool is_account = false;
+  Address addr;
+  U256 key;             // slot key; unused for account reads
+  int32_t version = kPreBlockVersion;
+};
+
+// The committed-prefix write buffer: per-key version lists, ascending by
+// writer index. Readers (execution attempts on worker threads) take the
+// shared lock; Publish — coordinator only, ascending commit order — takes
+// the exclusive lock.
+class MvMemory {
+ public:
+  // Latest committed writer with index < `reader` for the key, if any.
+  std::optional<std::pair<int32_t, Account>> LatestAccount(const Address& addr,
+                                                           size_t reader) const;
+  std::optional<std::pair<int32_t, U256>> LatestSlot(const StateSlotKey& slot,
+                                                     size_t reader) const;
+
+  // Publishes `tx_index`'s write set. Must be called in strictly ascending
+  // tx_index order (the executor's prefix commit), so every version list
+  // stays sorted without a sort.
+  void Publish(size_t tx_index, const TxWriteSet& writes);
+
+  // Committed prefix length (transactions 0..committed()-1 are final).
+  size_t committed() const;
+
+ private:
+  mutable SharedMutex mutex_;
+  std::unordered_map<Address, std::vector<std::pair<uint32_t, Account>>, AddressHasher>
+      accounts_ FRN_GUARDED_BY(mutex_);
+  std::unordered_map<StateSlotKey, std::vector<std::pair<uint32_t, U256>>, StateSlotKeyHasher>
+      slots_ FRN_GUARDED_BY(mutex_);
+  size_t committed_ FRN_GUARDED_BY(mutex_) = 0;
+};
+
+// Per-attempt overlay: resolves reads through MvMemory for one transaction
+// index and records a descriptor for each first touch. Owned by exactly one
+// attempt at a time (not synchronized); reads through it go to the shared,
+// lock-striped MvMemory. Reads of `fee_account` are exempt (see file
+// comment).
+class BlockStmView : public StateOverlay {
+ public:
+  BlockStmView(const MvMemory* mv, size_t tx_index, const Address& fee_account)
+      : mv_(mv), tx_index_(tx_index), fee_(fee_account) {}
+
+  std::optional<Account> OverlayAccount(const Address& addr) override;
+  std::optional<U256> OverlayStorage(const Address& addr, const U256& key) override;
+
+  std::vector<BlockStmReadDesc> TakeReads() { return std::move(reads_); }
+
+ private:
+  const MvMemory* mv_;
+  size_t tx_index_;
+  Address fee_;
+  std::vector<BlockStmReadDesc> reads_;
+  std::unordered_set<Address, AddressHasher> seen_accounts_;
+  std::unordered_map<StateSlotKey, bool, StateSlotKeyHasher> seen_slots_;
+};
+
+// True when every recorded read still resolves to the same writer version for
+// `tx_index` — i.e. the attempt saw exactly what serial execution after the
+// committed prefix would see. Runs on the coordinator during the serial
+// validation pass.
+bool ValidateBlockStmReads(const MvMemory& mv, size_t tx_index,
+                           const std::vector<BlockStmReadDesc>& reads);
+
+}  // namespace frn
+
+#endif  // SRC_STATE_BLOCK_STM_H_

@@ -1,5 +1,6 @@
 #include "src/state/persist.h"
 
+#include <atomic>
 #include <cinttypes>
 #include <cstring>
 #include <filesystem>
@@ -16,6 +17,11 @@ constexpr size_t kRecordHeaderBytes = 1 + 4 + 8;  // type + payload_len + checks
 // key); anything larger in a header is corruption, not data.
 constexpr uint32_t kMaxPayloadBytes = 64u << 20;
 constexpr size_t kSegmentTargetBytes = 4u << 20;  // rotate past ~4 MiB
+
+// Failure injection for the torn-tail truncation path: tests run with enough
+// privilege that a permission-denied resize cannot be provoked through the
+// filesystem itself.
+std::atomic<bool> g_fail_resize_for_test{false};
 
 uint64_t Fnv1a64(const uint8_t* data, size_t n) {
   uint64_t h = 1469598103934665603ULL;
@@ -55,6 +61,10 @@ uint64_t ReadU64(const uint8_t* p) {
 }
 
 }  // namespace
+
+void PersistLog::SetResizeFailureForTest(bool fail) {
+  g_fail_resize_for_test.store(fail, std::memory_order_relaxed);
+}
 
 std::string PersistLog::SegmentPath(size_t index) const {
   char name[32];
@@ -172,8 +182,22 @@ bool PersistLog::ReplayLocked(std::string* error) {
     }
     std::fclose(f);
     if (truncated) {
+      // The corrupt tail record MUST be physically gone before the segment
+      // reopens for append: appending after a record the next replay will
+      // reject would wedge every future open at this spot. If the truncation
+      // itself fails, refuse the open instead of wedging the log.
       std::error_code ec;
-      std::filesystem::resize_file(path, good_offset, ec);
+      if (g_fail_resize_for_test.load(std::memory_order_relaxed)) {
+        ec = std::make_error_code(std::errc::permission_denied);
+      } else {
+        std::filesystem::resize_file(path, good_offset, ec);
+      }
+      if (ec) {
+        if (error != nullptr) {
+          *error = "cannot truncate torn tail of " + path + ": " + ec.message();
+        }
+        return false;
+      }
       last_good = seg;
     } else {
       last_good = seg;

@@ -62,6 +62,12 @@ class PersistLog {
   void AppendBlob(const Hash& key, const Bytes& value);
   void AppendHead(const Hash& root, uint64_t height);
 
+  // Test-only: make torn-tail truncation during replay fail as if the
+  // filesystem refused the resize (tests run with enough privilege that a
+  // real permission-based block is not reproducible). Open then refuses the
+  // log instead of reopening for append after the corrupt record.
+  static void SetResizeFailureForTest(bool fail);
+
   bool has_head() const;
   Hash head_root() const;
   uint64_t head_height() const;

@@ -64,6 +64,67 @@ size_t SharedStateCache::storage_entries() const {
   return storage_.size();
 }
 
+// SnapshotHandle's special members live here because statedb.h cannot see
+// VersionedState (circular include); every path that drops a pin funnels
+// through NotifyRelease so the store can retry deferred base folds.
+SnapshotHandle::SnapshotHandle(const SnapshotHandle& o) = default;
+
+SnapshotHandle::SnapshotHandle(SnapshotHandle&& o) noexcept
+    : version_(std::move(o.version_)),
+      root_(o.root_),
+      height_(o.height_),
+      hook_(std::move(o.hook_)) {
+  o.root_ = Hash{};
+  o.height_ = 0;
+}
+
+SnapshotHandle& SnapshotHandle::operator=(const SnapshotHandle& o) {
+  if (this != &o) {
+    NotifyRelease();
+    version_ = o.version_;
+    root_ = o.root_;
+    height_ = o.height_;
+    hook_ = o.hook_;
+  }
+  return *this;
+}
+
+SnapshotHandle& SnapshotHandle::operator=(SnapshotHandle&& o) noexcept {
+  if (this != &o) {
+    NotifyRelease();
+    version_ = std::move(o.version_);
+    root_ = o.root_;
+    height_ = o.height_;
+    hook_ = std::move(o.hook_);
+    o.root_ = Hash{};
+    o.height_ = 0;
+  }
+  return *this;
+}
+
+SnapshotHandle::~SnapshotHandle() { NotifyRelease(); }
+
+void SnapshotHandle::Release() {
+  NotifyRelease();
+  root_ = Hash{};
+  height_ = 0;
+}
+
+void SnapshotHandle::NotifyRelease() {
+  if (version_ == nullptr) {
+    hook_.reset();
+    return;
+  }
+  version_.reset();
+  std::shared_ptr<VersionedReleaseHook> hook = std::move(hook_);
+  if (hook != nullptr) {
+    MutexLock lock(hook->mutex);
+    if (hook->store != nullptr) {
+      hook->store->NotifyHandleRelease();
+    }
+  }
+}
+
 RootFuture RootFuture::Ready(const Hash& root) {
   RootFuture f = Pending();
   f.Set(root);
@@ -158,7 +219,17 @@ Account& StateDb::Load(const Address& addr) {
       MetricsRegistry::Global().GetCounter("state.versioned_misses");
   Account account;
   bool resolved = false;
-  if (versioned_ != nullptr) {
+  if (overlay_ != nullptr) {
+    // Optimistic in-block read: a hit is a lower-indexed transaction's
+    // committed write, seeded into this attempt's cache exactly where serial
+    // execution would have left it. A miss records a pre-block read and falls
+    // through to the snapshot path.
+    if (auto in_block = overlay_->OverlayAccount(addr)) {
+      account = *in_block;
+      resolved = true;
+    }
+  }
+  if (!resolved && versioned_ != nullptr) {
     if (view_.valid()) {
       // Authoritative O(1) answer: under a pinned view, absence from the
       // version chain and base means the account does not exist — no trie
@@ -334,6 +405,16 @@ U256 StateDb::GetStorage(const Address& addr, const U256& key) {
   if (it != cache.current.end()) {
     return it->second;
   }
+  if (overlay_ != nullptr) {
+    // A lower-indexed transaction's committed write belongs in `current`
+    // (unjournaled, like a predecessor's write in serial execution), never in
+    // `committed`: GetCommittedStorage must keep serving the pre-block value
+    // so the SSTORE gas rules match the serial schedule bit for bit.
+    if (auto in_block = overlay_->OverlayStorage(addr, key)) {
+      cache.current.emplace(key, *in_block);
+      return *in_block;
+    }
+  }
   return GetCommittedStorage(addr, key);
 }
 
@@ -395,6 +476,68 @@ void StateDb::RevertToSnapshot(int id) {
         break;
     }
     journal_.pop_back();
+  }
+}
+
+TxWriteSet StateDb::ExtractWriteSet(const Address* fee_account) const {
+  TxWriteSet ws;
+  std::unordered_map<Address, bool, AddressHasher> seen_accounts;
+  std::unordered_map<StateSlotKey, bool, StateSlotKeyHasher> seen_slots;
+  // Reverts pop from the journal's tail, so the first surviving entry per key
+  // is the first-ever write: its prev value is the pre-transaction value, and
+  // the live caches hold the final value. Walk order fixes the write-set
+  // order deterministically (first-write order).
+  bool fee_touched = false;
+  U256 fee_initial;
+  for (const JournalEntry& e : journal_) {
+    if (e.kind == JournalEntry::Kind::kStorage) {
+      const StateSlotKey slot{e.addr, e.key};
+      if (seen_slots.emplace(slot, true).second) {
+        ws.slots.emplace_back(slot, storage_.at(e.addr).current.at(e.key));
+      }
+      continue;
+    }
+    if (fee_account != nullptr && e.addr == *fee_account) {
+      // The fee account is commutative by contract: the only surviving writes
+      // to it are balance credits (the executor falls back to serial when the
+      // fee account itself transacts). Report the net credit, not the final
+      // balance, so every transaction's fee applies independently of order.
+      if (e.kind == JournalEntry::Kind::kBalance && !fee_touched) {
+        fee_touched = true;
+        fee_initial = e.prev_word;
+      }
+      continue;
+    }
+    if (seen_accounts.emplace(e.addr, true).second) {
+      ws.accounts.emplace_back(e.addr, accounts_.at(e.addr));
+    }
+  }
+  if (fee_touched) {
+    ws.has_fee_delta = true;
+    ws.fee_delta = accounts_.at(*fee_account).balance - fee_initial;
+  }
+  return ws;
+}
+
+void StateDb::ApplyWriteSet(const TxWriteSet& ws, const Address& fee_account) {
+  for (const auto& [addr, account] : ws.accounts) {
+    if (!Load(addr).exists) {
+      CreateAccount(addr);
+    }
+    SetBalance(addr, account.balance);
+    SetNonce(addr, account.nonce);
+    if (Load(addr).code_hash != account.code_hash) {
+      // The attempt Put the blob into the content-addressed store when it ran
+      // SetCode, so the bytes are resolvable by hash here.
+      auto blob = trie_->store()->Get(account.code_hash);
+      SetCode(addr, blob.value_or(Bytes{}));
+    }
+  }
+  for (const auto& [slot, value] : ws.slots) {
+    SetStorage(slot.addr, slot.key, value);
+  }
+  if (ws.has_fee_delta) {
+    AddBalance(fee_account, ws.fee_delta);
   }
 }
 

@@ -129,6 +129,40 @@ struct StateVersion;
 class VersionedState;
 class CommitPool;
 
+// Release-notification rendezvous between SnapshotHandle and the
+// VersionedState that issued it: the store owns one hook for its whole
+// lifetime (nulling the back-pointer in its destructor), handles carry a
+// shared_ptr copy. Releasing a pinned handle can then safely poke the store —
+// to retry deferred base folds — even when the handle outlives the store.
+struct VersionedReleaseHook {
+  Mutex mutex;
+  VersionedState* store FRN_GUARDED_BY(mutex) = nullptr;
+};
+
+// Consulted by StateDb ahead of its snapshot/shared-cache/trie read path: the
+// in-block multi-version write buffer of the optimistic parallel block
+// executor (src/state/block_stm.h). Returning nullopt falls through to the
+// pre-block state; implementations record the read either way so it can be
+// validated against lower-indexed writers at commit time.
+class StateOverlay {
+ public:
+  virtual ~StateOverlay() = default;
+  virtual std::optional<Account> OverlayAccount(const Address& addr) = 0;
+  virtual std::optional<U256> OverlayStorage(const Address& addr, const U256& key) = 0;
+};
+
+// One transaction's effects extracted from a completed attempt's journal:
+// final values in first-write order, deduplicated. The fee account (block
+// coinbase) is carried as a commutative balance delta instead of a final
+// value — every transaction credits it, so treating it as an ordinary write
+// would serialize the whole block (see block_stm.h).
+struct TxWriteSet {
+  std::vector<std::pair<Address, Account>> accounts;
+  std::vector<std::pair<StateSlotKey, U256>> slots;
+  U256 fee_delta;
+  bool has_fee_delta = false;
+};
+
 // A pinned, immutable view of the world state at one committed version of the
 // multi-version store (versioned_state.h). The handle IS the pin: it shares
 // ownership of the version node, so a pinned version — and the delta chain it
@@ -140,26 +174,40 @@ class CommitPool;
 class SnapshotHandle {
  public:
   SnapshotHandle() = default;
+  // Dropping (or overwriting, or Release()-ing) a pinned handle notifies the
+  // issuing store through its release hook so deferred base folds retry
+  // immediately — releasing the last pin on an idle chain must not leave
+  // deferred versions resident until some future seal. All five members are
+  // defined out of line in statedb.cc (versioned_state.h cannot be included
+  // here).
+  SnapshotHandle(const SnapshotHandle& o);
+  SnapshotHandle& operator=(const SnapshotHandle& o);
+  SnapshotHandle(SnapshotHandle&& o) noexcept;
+  SnapshotHandle& operator=(SnapshotHandle&& o) noexcept;
+  ~SnapshotHandle();
 
   bool valid() const { return version_ != nullptr; }
   // Root/height of the pinned version, captured under the store's lock at
   // acquisition time (zero / 0 for an invalid or not-yet-sealed handle).
   const Hash& root() const { return root_; }
   uint64_t height() const { return height_; }
-  void Release() {
-    version_.reset();
-    root_ = Hash{};
-    height_ = 0;
-  }
+  void Release();
 
  private:
   friend class VersionedState;
-  SnapshotHandle(std::shared_ptr<StateVersion> version, const Hash& root, uint64_t height)
-      : version_(std::move(version)), root_(root), height_(height) {}
+  SnapshotHandle(std::shared_ptr<StateVersion> version, const Hash& root, uint64_t height,
+                 std::shared_ptr<VersionedReleaseHook> hook = nullptr)
+      : version_(std::move(version)), root_(root), height_(height), hook_(std::move(hook)) {}
+
+  // Unpins the version and, if this handle carried a release hook, pokes the
+  // store (never under the store's lock: hooked handles are only handed out
+  // of lock scope).
+  void NotifyRelease();
 
   std::shared_ptr<StateVersion> version_;
   Hash root_;
   uint64_t height_ = 0;
+  std::shared_ptr<VersionedReleaseHook> hook_;
 };
 
 // Seal-time handshake for the asynchronous commit pipeline (chain.root_async):
@@ -224,6 +272,25 @@ class StateDb {
   int Snapshot();
   void RevertToSnapshot(int id);
 
+  // ---- Optimistic in-block overlay (src/state/block_stm.h) ----
+  // Attach an overlay consulted ahead of the snapshot/cache/trie read path.
+  // Overlay hits seed this instance's own caches exactly where a serial
+  // predecessor's writes would sit (account cache / storage `current`), so
+  // gas rules (committed vs current storage) behave identically to serial
+  // execution. Must be set before the first read; never on a chain-head db.
+  void set_overlay(StateOverlay* overlay) { overlay_ = overlay; }
+
+  // Extracts the journal's net effects as final values (first-write order,
+  // deduplicated). `fee_account`, when non-null, is excluded from the account
+  // list and reported as a commutative balance delta instead.
+  TxWriteSet ExtractWriteSet(const Address* fee_account) const;
+
+  // Replays an extracted write set through the normal journaled setters, so
+  // applying the per-tx write sets of an optimistic parallel schedule in
+  // transaction order leaves this db's dirty set — and therefore its commit
+  // root — bit-identical to having executed the block serially.
+  void ApplyWriteSet(const TxWriteSet& ws, const Address& fee_account);
+
   // ---- Commit ----
   // Folds all dirty values into the tries; returns the new state root.
   // The StateDb remains usable and now reads through the new root.
@@ -286,6 +353,7 @@ class StateDb {
   SharedStateCache* shared_cache_;
   VersionedState* versioned_;
   CommitPool* commit_pool_;
+  StateOverlay* overlay_ = nullptr;
   SnapshotHandle view_;
 
   std::unordered_map<Address, Account, AddressHasher> accounts_;

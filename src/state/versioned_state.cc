@@ -8,7 +8,12 @@
 namespace frn {
 
 VersionedState::VersionedState(size_t retention)
-    : retention_(std::max<size_t>(1, retention)) {
+    : retention_(std::max<size_t>(1, retention)),
+      hook_(std::make_shared<VersionedReleaseHook>()) {
+  {
+    MutexLock hook_lock(hook_->mutex);
+    hook_->store = this;
+  }
   auto base = std::make_shared<StateVersion>();
   base->root = Mpt::EmptyRoot();
   base->sealed = true;
@@ -16,6 +21,23 @@ VersionedState::VersionedState(size_t retention)
   MutexLock lock(mutex_);
   by_root_[base->root] = base;
   base_ = std::move(base);
+}
+
+VersionedState::~VersionedState() {
+  MutexLock hook_lock(hook_->mutex);
+  hook_->store = nullptr;
+}
+
+void VersionedState::NotifyHandleRelease() {
+  // Fast path: nothing deferred, don't touch the store lock — this runs on
+  // every release of every pinned handle (speculation lanes included).
+  if (!fold_pending_.load(std::memory_order_acquire)) {
+    return;
+  }
+  MutexLock lock(mutex_);
+  if (head_ != nullptr) {
+    PruneLocked(head_);
+  }
 }
 
 SnapshotHandle VersionedState::AcquireAt(const Hash& root) {
@@ -26,7 +48,7 @@ SnapshotHandle VersionedState::AcquireAt(const Hash& root) {
     if (std::shared_ptr<StateVersion> v = it->second.lock()) {
       acquires_.fetch_add(1, std::memory_order_relaxed);
       const uint64_t height = v->height;
-      return SnapshotHandle(std::move(v), key, height);
+      return SnapshotHandle(std::move(v), key, height, hook_);
     }
   }
   acquire_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -86,7 +108,9 @@ SnapshotHandle VersionedState::SealLocked(
   stats_.slots = storage_.size();
   static Gauge* retained = MetricsRegistry::Global().GetGauge("state.retained_versions");
   retained->Set(static_cast<double>(by_root_.size()));
-  return SnapshotHandle(v, sealed_root, v->height);
+  // The returned handle is copy-elided into the caller's frame, so its
+  // release hook never fires while mutex_ is held here.
+  return SnapshotHandle(v, sealed_root, v->height, hook_);
 }
 
 SnapshotHandle VersionedState::Seal(const SnapshotHandle& pending, const Hash& root,
@@ -126,14 +150,18 @@ void VersionedState::PruneLocked(const std::shared_ptr<StateVersion>& tip) {
     }
     stats_.depth = chain.size();
     if (chain.size() <= retention_) {
+      fold_pending_.store(false, std::memory_order_release);
       return;
     }
     // Fold eligibility: the only references to the current base may be the
     // store's own base_ pointer and the child's parent link. Any pinned
     // handle at the base — or an unretired fork branch hanging off it —
     // raises the count and defers the fold (costing memory, not correctness).
+    // The pending flag makes the next handle release retry right here rather
+    // than waiting for a seal that an idle chain may never perform.
     if (base_.use_count() != 2) {
       ++stats_.fold_deferrals;
+      fold_pending_.store(true, std::memory_order_release);
       return;
     }
     const std::shared_ptr<StateVersion>& child =

@@ -73,6 +73,8 @@ class VersionedState {
   // Retains up to `retention` versions above the folded base (minimum 1).
   // Size it to cover the deepest reorg the chain manager may ask for.
   explicit VersionedState(size_t retention);
+  // Severs the release hook, so handles that outlive the store release safely.
+  ~VersionedState();
 
   // Pins the sealed version whose root is `root` (a zero root means the empty
   // trie). Returns an invalid handle if the store no longer — or never —
@@ -105,6 +107,12 @@ class VersionedState {
   size_t retention() const { return retention_; }
   VersionedStateStats stats() const;
 
+  // Called by SnapshotHandle when a pinned handle is released. When the last
+  // seal deferred a base fold (a pinned reader held the base), this retries
+  // the fold immediately — an idle chain must not keep deferred versions
+  // resident until the next seal. Lock-free no-op when nothing is deferred.
+  void NotifyHandleRelease();
+
  private:
   SnapshotHandle BeginCommitLocked(const SnapshotHandle& parent) FRN_REQUIRES(mutex_);
   SnapshotHandle SealLocked(const std::shared_ptr<StateVersion>& v, const Hash& root,
@@ -135,6 +143,13 @@ class VersionedState {
   VersionedStateStats stats_ FRN_GUARDED_BY(mutex_);
   std::atomic<uint64_t> acquires_{0};
   std::atomic<uint64_t> acquire_misses_{0};
+  // True while the base fold is behind (PruneLocked hit a pinned base).
+  // Checked lock-free in NotifyHandleRelease so releasing unrelated handles
+  // stays cheap; only ever written under mutex_.
+  std::atomic<bool> fold_pending_{false};
+  // Shared with every externally handed-out handle; our destructor nulls the
+  // back-pointer so late releases are safe no-ops.
+  const std::shared_ptr<VersionedReleaseHook> hook_;
 };
 
 }  // namespace frn

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/contracts/contracts.h"
+#include "src/crypto/keccak.h"
 #include "src/forerunner/node.h"
 #include "tests/test_util.h"
 
@@ -239,6 +240,46 @@ TEST(ChainManagerTest, SpecCacheEvictsLeastRecentlyUsed) {
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.max_entries_seen, 2u);  // both merged before the LRU trim
+}
+
+TEST(ChainManagerTest, CoveredSkipRefreshesSpecCacheLru) {
+  SpecManagerOptions options;
+  options.max_entries = 2;
+  SpeculationManager mgr(options);
+  const Hash head = Keccak256Word(U256(42));
+
+  auto predict = [](uint64_t id) {
+    TxPrediction p;
+    p.tx.id = id;
+    return p;
+  };
+  auto merge = [&](uint64_t id) {
+    std::vector<TxPrediction> predictions = {predict(id)};
+    std::vector<SpecJob> jobs = mgr.BuildJobs(predictions, head, 2);
+    ASSERT_EQ(jobs.size(), 1u);
+    std::vector<SpecJobResult> results(1);
+    results[0].spec.tx_id = id;
+    mgr.MergeResults(&results, /*sim_time=*/0.0, /*time_scale=*/0.0, {});
+  };
+
+  merge(1);  // the hot entry, merged first (oldest merge-time stamp)
+  merge(2);
+  // Tx 1 stays pending and covered: the head never moves, so every further
+  // pipeline round skips it. A covered skip is a use — it must refresh the
+  // entry's LRU, or the cache's hottest entry carries its original stamp.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<TxPrediction> predictions = {predict(1)};
+    EXPECT_TRUE(mgr.BuildJobs(predictions, head, 2).empty());
+  }
+  EXPECT_EQ(mgr.stats().root_skips, 3u);
+
+  // A third entry forces an eviction under the 2-entry cap. Pre-fix the
+  // skips never touched tx 1's stamp, so the repeatedly-covered (hottest)
+  // entry was evicted ahead of the never-reused tx 2.
+  merge(3);
+  EXPECT_EQ(mgr.stats().evictions, 1u);
+  EXPECT_NE(mgr.Lookup(1, 1.0), nullptr);  // survived: skipped = used
+  EXPECT_EQ(mgr.Lookup(2, 1.0), nullptr);  // the true LRU victim
 }
 
 }  // namespace

@@ -158,6 +158,46 @@ TEST_F(PersistTest, TruncatedTailFallsBackToPreviousHead) {
   EXPECT_EQ(again->head_height(), 1u);
 }
 
+TEST_F(PersistTest, BlockedTailTruncationRefusesReopen) {
+  {
+    std::string error;
+    auto log = PersistLog::Open(dir_.string(), &error);
+    ASSERT_NE(log, nullptr) << error;
+    KvStore::Options options;
+    options.cold_read_latency = std::chrono::nanoseconds(0);
+    options.persist = log.get();
+    KvStore store(options);
+    Mpt trie(&store);
+    StateDb db(&trie, Mpt::EmptyRoot());
+    for (uint64_t n = 1; n <= 2; ++n) {
+      CommitBlock(&db, log.get(), n);
+    }
+  }
+  fs::path segment = dir_ / "segment-0000.log";
+  ASSERT_TRUE(fs::exists(segment));
+  const auto size = fs::file_size(segment);
+  ASSERT_GT(size, 5u);
+  fs::resize_file(segment, size - 5);
+
+  // Recovery found a torn tail but cannot chop it off (injected: the tests
+  // run with privileges that make a real permission block irreproducible).
+  // Reopening must refuse — pre-fix the error was swallowed and the log
+  // came back "recovered" over a tail it never removed, so the next append
+  // would land after garbage.
+  PersistLog::SetResizeFailureForTest(true);
+  std::string error;
+  auto log = PersistLog::Open(dir_.string(), &error);
+  EXPECT_EQ(log, nullptr);
+  EXPECT_NE(error.find("cannot truncate"), std::string::npos) << error;
+
+  // With the failure cleared, the same directory recovers normally.
+  PersistLog::SetResizeFailureForTest(false);
+  log = PersistLog::Open(dir_.string(), &error);
+  ASSERT_NE(log, nullptr) << error;
+  EXPECT_EQ(log->stats().truncated_records, 1u);
+  EXPECT_EQ(log->head_height(), 1u);
+}
+
 TEST_F(PersistTest, ManifestVersionMismatchIsRejected) {
   {
     std::string error;

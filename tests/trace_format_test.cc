@@ -79,7 +79,12 @@ TraceRun RunTracedScenario() {
     out.roots_consistent = report.roots_consistent;
   }  // nodes destroyed: SpecPool executors joined, no in-flight Emit remains
 
-  std::string path = testing::TempDir() + "/trace_format_test.json";
+  // Keyed by the current test name: ctest runs each case as its own process,
+  // and a shared fixed path lets concurrently-scheduled cases tear each
+  // other's half-written JSON.
+  std::string path = testing::TempDir() + "/trace_format_" +
+                     testing::UnitTest::GetInstance()->current_test_info()->name() +
+                     ".json";
   EXPECT_TRUE(TraceCollector::Global().WriteChromeTrace(path));
   out.dropped = TraceCollector::Global().dropped_events();
   out.stats = MetricsRegistry::Global().Snapshot();

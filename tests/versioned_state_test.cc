@@ -128,6 +128,27 @@ TEST(VersionedStateTest, PinnedHandleDefersFoldingUntilReleased) {
   EXPECT_LE(store.stats().depth, 1u);
 }
 
+TEST(VersionedStateTest, FoldDeferralsDrainOnHandleRelease) {
+  VersionedState store(1);
+  SnapshotHandle pin = CommitDelta(&store, store.AcquireAt(Mpt::EmptyRoot()), 1);
+  SnapshotHandle h = CommitDelta(&store, pin, 2);
+  h = CommitDelta(&store, h, 3);
+  VersionedStateStats stats = store.stats();
+  ASSERT_GT(stats.fold_deferrals, 0u);
+  const uint64_t folds_while_pinned = stats.folds;
+  ASSERT_GT(stats.depth, 1u);  // retention exceeded while the pin held
+
+  // Releasing the pinning handle must retry the deferred folds immediately —
+  // not at the next seal. (Pre-fix, a node that stopped committing would
+  // carry the over-retention chain until the next block sealed.)
+  pin.Release();
+  stats = store.stats();
+  EXPECT_GT(stats.folds, folds_while_pinned);
+  EXPECT_LE(stats.depth, 1u);
+  // The drained store still serves the live view correctly.
+  EXPECT_EQ(store.GetAccount(h, Address::FromId(1))->balance, U256(3));
+}
+
 TEST(VersionedStateTest, StaleParentIsRefusedLocally) {
   VersionedState store(4);
   SnapshotHandle good = CommitDelta(&store, store.AcquireAt(Mpt::EmptyRoot()), 1);

@@ -10,6 +10,9 @@
 #                   trie-only, no-fork invalidation gate)
 #   versioned-gate  bench_versioned_state gates: handle-acquire cost, async
 #                   commit critical-path reduction, reorg-depth sweep
+#   block-stm-gate  bench_block_stm gates: bit-identical roots at 1/2/4
+#                   block workers under low- and high-conflict traffic,
+#                   deterministic conflict counts, >= 2x modeled speedup
 #   persist-smoke   cold-start/recovery: run forerunner_sim with a persist
 #                   dir, reopen it with `recover`, require the same head root
 #   thread-safety   clang build with -Wthread-safety -Werror=thread-safety
@@ -71,6 +74,8 @@ tidy_files=(
   src/state/versioned_state.cc
   src/state/persist.cc
   src/state/commit_pool.cc
+  src/state/block_stm.cc
+  src/forerunner/parallel_exec.cc
   src/forerunner/spec_pool.cc
   src/obs/registry.cc
   src/obs/trace.cc
@@ -134,6 +139,10 @@ stage_flat_gate() {
 
 stage_versioned_gate() {
   "${repo_root}/build/bench/bench_versioned_state" --json "${repo_root}/build/BENCH_versioned_state.json"
+}
+
+stage_block_stm_gate() {
+  "${repo_root}/build/bench/bench_block_stm" --json "${repo_root}/build/BENCH_block_stm.json"
 }
 
 stage_persist_smoke() {
@@ -209,6 +218,7 @@ run_stage tier1 stage_tier1
 run_stage reorg-gate stage_reorg_gate
 run_stage flat-gate stage_flat_gate
 run_stage versioned-gate stage_versioned_gate
+run_stage block-stm-gate stage_block_stm_gate
 run_stage persist-smoke stage_persist_smoke
 
 if command -v clang++ >/dev/null 2>&1; then

@@ -5,8 +5,10 @@
 # forerunner node test, the node-subsystem tests (mempool admission and the
 # chain manager's multi-depth reorgs around the worker pool), the versioned
 # snapshot store (readers pinning handles through commit/fork churn, the
-# parallel commit pool, the async-root seal handshake), the persistence
-# log's locked append path,
+# parallel commit pool, the async-root seal handshake), the optimistic
+# parallel block executor (worker threads publishing attempts through the
+# round barrier while snapshot readers pin and read concurrently), the
+# persistence log's locked append path,
 # the prefetcher's shared-cache warm path, and the observability tests
 # (sharded metrics registry under concurrent writers, trace capture during a
 # threaded scenario). Pass --all to run the entire ctest suite under TSan
@@ -31,7 +33,7 @@ build_dir="${repo_root}/build-tsan"
 cmake -S "${repo_root}" -B "${build_dir}" -DFRN_SANITIZE=thread >/dev/null
 tsan_tests=(concurrency_stress_test spec_pool_test forerunner_test
             mempool_test chain_manager_test
-            versioned_state_test persist_test prefetcher_test
+            versioned_state_test block_stm_test persist_test prefetcher_test
             obs_registry_test trace_format_test)
 
 cmake --build "${build_dir}" -j"$(nproc)" --target "${tsan_tests[@]}"
