@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/state/statedb.h"
 #include "src/contracts/contracts.h"
 #include "src/forerunner/node.h"
 

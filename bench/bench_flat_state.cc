@@ -25,6 +25,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/state/statedb.h"
 #include "src/common/clock.h"
 #include "src/state/commit_pool.h"
 #include "src/state/versioned_state.h"

@@ -8,6 +8,7 @@
 #include "src/core/ap.h"
 #include "src/core/trace_builder.h"
 #include "src/evm/evm.h"
+#include "src/state/statedb.h"
 
 namespace frn {
 namespace {

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/state/statedb.h"
 #include "src/replay/recording.h"
 
 using namespace frn;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "src/state/statedb.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
 

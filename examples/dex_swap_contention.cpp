@@ -9,6 +9,7 @@
 // Build & run:  ./build/examples/dex_swap_contention
 #include <cstdio>
 
+#include "src/state/statedb.h"
 #include "src/contracts/contracts.h"
 #include "src/crypto/keccak.h"
 #include "src/forerunner/speculator.h"

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "src/state/statedb.h"
 #include "src/workload/workload.h"
 
 using namespace frn;

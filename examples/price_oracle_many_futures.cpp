@@ -8,6 +8,7 @@
 // Build & run:  ./build/examples/price_oracle_many_futures
 #include <cstdio>
 
+#include "src/state/statedb.h"
 #include "src/contracts/contracts.h"
 #include "src/core/ap.h"
 #include "src/core/trace_builder.h"

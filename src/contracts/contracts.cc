@@ -1,5 +1,7 @@
 #include "src/contracts/contracts.h"
 
+#include <unordered_map>
+
 #include "src/crypto/keccak.h"
 #include "src/easm/easm.h"
 
@@ -640,7 +642,7 @@ Bytes AmmPair::Code() {
   return CachedAssemble(kSource);
 }
 
-void AmmPair::Deploy(StateDb* state, const Address& pair, const Address& token0,
+void AmmPair::Deploy(WorldState* state, const Address& pair, const Address& token0,
                      const Address& token1) {
   state->SetCode(pair, Code());
   state->SetStorage(pair, U256(0), token0.ToU256());
@@ -783,7 +785,7 @@ Bytes Proxy::Code() {
   return CachedAssemble(kSource);
 }
 
-void Proxy::Deploy(StateDb* state, const Address& proxy, const Address& implementation) {
+void Proxy::Deploy(WorldState* state, const Address& proxy, const Address& implementation) {
   state->SetCode(proxy, Code());
   state->SetStorage(proxy, U256(kImplSlot), implementation.ToU256());
 }
@@ -851,7 +853,7 @@ Bytes Registry::Code() {
 // ---------------------------------------------------------------------------
 // Hasher — iterated keccak, gas proportional to the iteration argument.
 // ---------------------------------------------------------------------------
-void Hasher::SeedState(StateDb* state, const Address& addr) {
+void Hasher::SeedState(WorldState* state, const Address& addr) {
   for (uint64_t i = 1; i <= 64; ++i) {
     state->SetStorage(addr, U256(i), Keccak256Word(U256(i)).ToU256());
   }

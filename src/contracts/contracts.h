@@ -11,7 +11,7 @@
 #include <initializer_list>
 
 #include "src/common/types.h"
-#include "src/state/statedb.h"
+#include "src/evm/world_state.h"
 
 namespace frn {
 
@@ -58,7 +58,7 @@ struct AmmPair {
   static constexpr uint32_t kAddLiquidity = 2;  // addLiquidity(amount0, amount1)
   static Bytes Code();
   // Installs the pair and wires its token addresses + initial reserves.
-  static void Deploy(StateDb* state, const Address& pair, const Address& token0,
+  static void Deploy(WorldState* state, const Address& pair, const Address& token0,
                      const Address& token1);
 };
 
@@ -79,7 +79,7 @@ struct Lottery {
 struct Proxy {
   static constexpr uint64_t kImplSlot = 100;
   static Bytes Code();
-  static void Deploy(StateDb* state, const Address& proxy, const Address& implementation);
+  static void Deploy(WorldState* state, const Address& proxy, const Address& implementation);
 };
 
 // ---- Registry: minimal one-slot writes ----
@@ -100,7 +100,7 @@ struct Hasher {
   static constexpr uint32_t kRunStateful = 2;  // runStateful(iterations, seed)
   static Bytes Code();
   // Seeds storage slots 1..64 with deterministic values.
-  static void SeedState(StateDb* state, const Address& addr);
+  static void SeedState(WorldState* state, const Address& addr);
 };
 
 }  // namespace frn

@@ -1,5 +1,6 @@
 #include "src/contracts/extra_contracts.h"
 
+#include <unordered_map>
 #include "src/crypto/keccak.h"
 #include "src/easm/easm.h"
 
@@ -290,7 +291,7 @@ Bytes Auction::Code() {
   return CachedAssemble2(kSource);
 }
 
-void Auction::Deploy(StateDb* state, const Address& auction, const Address& beneficiary,
+void Auction::Deploy(WorldState* state, const Address& auction, const Address& beneficiary,
                      uint64_t end_block) {
   state->SetCode(auction, Code());
   state->SetStorage(auction, U256(2), U256(end_block));
@@ -510,7 +511,7 @@ Bytes Multisig::Code() {
   return CachedAssemble2(kSource);
 }
 
-void Multisig::Deploy(StateDb* state, const Address& wallet, const Address& owner0,
+void Multisig::Deploy(WorldState* state, const Address& wallet, const Address& owner0,
                       const Address& owner1, const Address& owner2, uint64_t threshold) {
   state->SetCode(wallet, Code());
   state->SetStorage(wallet, U256(10), owner0.ToU256());

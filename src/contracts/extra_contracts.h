@@ -30,7 +30,7 @@ struct Auction {
   static constexpr uint32_t kBid = 1;     // bid() payable; refunds the loser
   static constexpr uint32_t kSettle = 2;  // settle(); pays the beneficiary
   static Bytes Code();
-  static void Deploy(StateDb* state, const Address& auction, const Address& beneficiary,
+  static void Deploy(WorldState* state, const Address& auction, const Address& beneficiary,
                      uint64_t end_block);
 };
 
@@ -43,7 +43,7 @@ struct Multisig {
   static constexpr uint32_t kPropose = 1;  // propose(to, amount) -> id
   static constexpr uint32_t kConfirm = 2;  // confirm(id); executes at threshold
   static Bytes Code();
-  static void Deploy(StateDb* state, const Address& wallet, const Address& owner0,
+  static void Deploy(WorldState* state, const Address& wallet, const Address& owner0,
                      const Address& owner1, const Address& owner2, uint64_t threshold = 2);
   static U256 ProposalToSlot(const U256& id);
   static U256 ProposalAmountSlot(const U256& id);

@@ -465,7 +465,7 @@ bool Ap::MergeWith(const Ap& other) {
 // Execute
 // ---------------------------------------------------------------------------
 
-ApRunResult Ap::Execute(StateDb* state, const BlockContext& block) const {
+ApRunResult Ap::Execute(WorldState* state, const BlockContext& block) const {
   ApRunResult run;
   if (nodes_.empty()) {
     return run;

@@ -107,7 +107,7 @@ class Ap {
 
   // Runs the AP against the actual context. Applies effects to `state` only
   // along satisfied paths (all effects sit behind the last guard).
-  ApRunResult Execute(StateDb* state, const BlockContext& block) const;
+  ApRunResult Execute(WorldState* state, const BlockContext& block) const;
 
   const ApStats& stats() const { return stats_; }
   // Synthesis accounting of the (first) path, completed by Build's DCE and

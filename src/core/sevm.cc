@@ -115,7 +115,7 @@ U256 EvalPure(SOp op, const std::vector<U256>& args) {
   }
 }
 
-U256 EvalRead(SOp op, const std::vector<U256>& args, StateDb* state, const BlockContext& block) {
+U256 EvalRead(SOp op, const std::vector<U256>& args, WorldState* state, const BlockContext& block) {
   switch (op) {
     case SOp::kTimestamp: return U256(block.timestamp);
     case SOp::kNumber: return U256(block.number);

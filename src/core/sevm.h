@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/evm/context.h"
-#include "src/state/statedb.h"
+#include "src/evm/world_state.h"
 
 namespace frn {
 
@@ -117,7 +117,7 @@ struct SInstr {
 U256 EvalPure(SOp op, const std::vector<U256>& args);
 
 // Evaluates a context read against live state (kTimestamp..kSload).
-U256 EvalRead(SOp op, const std::vector<U256>& args, StateDb* state, const BlockContext& block);
+U256 EvalRead(SOp op, const std::vector<U256>& args, WorldState* state, const BlockContext& block);
 
 // Human-readable rendering for debugging and the Figure 8-style listings.
 std::string RenderInstr(const SInstr& instr);

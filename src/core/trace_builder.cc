@@ -59,7 +59,7 @@ std::string ValueNumberKey(SOp op, const std::vector<Operand>& args) {
 
 }  // namespace
 
-TraceBuilder::TraceBuilder(const Transaction& tx, StateDb* state) : tx_(tx), state_(state) {
+TraceBuilder::TraceBuilder(const Transaction& tx, WorldState* state) : tx_(tx), state_(state) {
   sender_gas_prepaid_ = U256(tx.gas_limit) * tx.gas_price;
   if (tx.to.IsZero()) {
     // Contract deployment installs code, which the AP effect set does not

@@ -30,9 +30,9 @@ namespace frn {
 
 class TraceBuilder : public Tracer {
  public:
-  // `state` is the speculation-time StateDb the traced execution runs on; it
+  // `state` is the speculation-time world state the traced execution runs on; it
   // is only consulted for balance baselines at CALL value checks.
-  TraceBuilder(const Transaction& tx, StateDb* state);
+  TraceBuilder(const Transaction& tx, WorldState* state);
 
   void OnStep(const TraceStep& step) override;
 
@@ -148,7 +148,7 @@ class TraceBuilder : public Tracer {
   std::vector<Operand>& Stack() { return stacks_.back(); }
 
   Transaction tx_;
-  StateDb* state_;
+  WorldState* state_;
 
   std::vector<SInstr> instrs_;
   std::vector<U256> traced_values_;

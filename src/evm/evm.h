@@ -9,13 +9,13 @@
 
 #include "src/evm/context.h"
 #include "src/evm/tracer.h"
-#include "src/state/statedb.h"
+#include "src/evm/world_state.h"
 
 namespace frn {
 
 class Evm {
  public:
-  Evm(StateDb* state, const BlockContext& block) : state_(state), block_(block) {}
+  Evm(WorldState* state, const BlockContext& block) : state_(state), block_(block) {}
 
   // Executes a full transaction: nonce/balance checks, gas purchase, the
   // top-level message call, gas refund and coinbase fee payment. State
@@ -24,7 +24,7 @@ class Evm {
   // consume nothing, mirroring invalid-transaction handling).
   ExecResult ExecuteTransaction(const Transaction& tx, Tracer* tracer = nullptr);
 
-  StateDb* state() { return state_; }
+  WorldState* state() { return state_; }
   const BlockContext& block() const { return block_; }
 
   // Deterministic BLOCKHASH function shared by interpreter and S-EVM.
@@ -67,7 +67,7 @@ class Evm {
                      const Address& origin, const U256& gas_price,
                      std::vector<LogEntry>* logs, Tracer* tracer);
 
-  StateDb* state_;
+  WorldState* state_;
   BlockContext block_;
 };
 

@@ -11,7 +11,12 @@
 #include <cstdint>
 
 #include "src/evm/tracer.h"
-#include "src/obs/registry.h"
+// Upward include (evm → obs), suppressed: the profiler's whole job is to
+// flush counts into the metrics registry, and its only attach site
+// (Accelerator::RunEvm, a layer that may include obs) is compiled exclusively
+// under -DFRN_TRACING=ON — default builds never instantiate this class, so
+// the evm layer's object code carries no obs dependency.
+#include "src/obs/registry.h"  // frn:allow(layering)
 
 namespace frn {
 

@@ -1,0 +1,55 @@
+// Abstract world-state surface the execution layers program against. The EVM
+// interpreter, the S-EVM evaluator (src/core) and the contract deploy helpers
+// (src/contracts) sit *below* the state layer in the include DAG enforced by
+// tools/analyze.py (`common → crypto → {evm,core,easm,contracts} → obs →
+// state → {dice,forerunner,replay}`), so they cannot name StateDb directly.
+// They call through this interface instead; StateDb (src/state/statedb.h)
+// is the one production implementation, and the state layer includes this
+// header downward.
+//
+// The surface is exactly the journaled account/storage operations transaction
+// execution needs. Commit/prefetch/write-set extraction are deliberately
+// absent: those are state-layer lifecycle concerns the execution layers must
+// not reach into.
+#ifndef SRC_EVM_WORLD_STATE_H_
+#define SRC_EVM_WORLD_STATE_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace frn {
+
+class WorldState {
+ public:
+  virtual ~WorldState() = default;
+
+  // ---- Account access ----
+  virtual bool Exists(const Address& addr) = 0;
+  virtual void CreateAccount(const Address& addr) = 0;
+  virtual U256 GetBalance(const Address& addr) = 0;
+  virtual void SetBalance(const Address& addr, const U256& value) = 0;
+  virtual void AddBalance(const Address& addr, const U256& value) = 0;
+  // Returns false on insufficient balance (no change applied).
+  virtual bool SubBalance(const Address& addr, const U256& value) = 0;
+  virtual uint64_t GetNonce(const Address& addr) = 0;
+  virtual void SetNonce(const Address& addr, uint64_t nonce) = 0;
+  virtual Bytes GetCode(const Address& addr) = 0;
+  virtual Hash GetCodeHash(const Address& addr) = 0;
+  virtual void SetCode(const Address& addr, const Bytes& code) = 0;
+
+  // ---- Storage access ----
+  virtual U256 GetStorage(const Address& addr, const U256& key) = 0;
+  virtual void SetStorage(const Address& addr, const U256& key, const U256& value) = 0;
+  // The committed (pre-transaction) value, used by the SSTORE gas rules.
+  virtual U256 GetCommittedStorage(const Address& addr, const U256& key) = 0;
+
+  // ---- Journal ----
+  // Returns a snapshot id; RevertToSnapshot undoes everything after it.
+  virtual int Snapshot() = 0;
+  virtual void RevertToSnapshot(int id) = 0;
+};
+
+}  // namespace frn
+
+#endif  // SRC_EVM_WORLD_STATE_H_

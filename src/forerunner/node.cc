@@ -5,7 +5,7 @@
 
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
-#include "src/state/persist.h"
+#include "src/trie/persist.h"
 
 namespace frn {
 

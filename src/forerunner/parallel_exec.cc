@@ -22,6 +22,10 @@ struct ParallelBlockExecutor::Attempt {
   double cost_seconds = 0;  // modeled: thread CPU + deferred store latency
   size_t attempts = 0;
   bool failed_once = false;  // already counted toward stats.conflicts
+  // The attempt observed the fee-account balance (BALANCE on the coinbase, a
+  // transfer out of it, ...): the commutative-fee exemption served a possibly
+  // stale pre-block value, so the block must fall back to serial execution.
+  bool fee_balance_observed = false;
 };
 
 ParallelBlockExecutor::ParallelBlockExecutor(Mpt* trie, SharedStateCache* shared_cache,
@@ -52,6 +56,7 @@ void ParallelBlockExecutor::RunAttempt(const Hash& root, const BlockContext& hea
     attempt->outcome = Accelerator::Execute(&attempt_db, header, tx, spec, strategy);
     attempt->writes = attempt_db.ExtractWriteSet(&header.coinbase);
     attempt->reads = view.TakeReads();
+    attempt->fee_balance_observed = view.fee_balance_observed();
   }
   attempt->cost_seconds = (ThreadCpuSeconds() - cpu_start) + io.deferred_latency_seconds;
   ++attempt->attempts;
@@ -139,6 +144,7 @@ bool ParallelBlockExecutor::ExecuteBlock(const Hash& root, const BlockContext& h
     }
     stats->exec_real_seconds += exec_watch.ElapsedSeconds();
     std::vector<double> lane_cost(options_.workers, 0.0);
+    bool fee_balance_observed = false;
     for (size_t j = 0; j < pending.size(); ++j) {
       const double cost = attempts[pending[j]].cost_seconds;
       stats->exec_serial_seconds += cost;
@@ -147,8 +153,24 @@ bool ParallelBlockExecutor::ExecuteBlock(const Hash& root, const BlockContext& h
       if (attempts[pending[j]].attempts > 1) {
         ++stats->reexecutions;
       }
+      fee_balance_observed |= attempts[pending[j]].fee_balance_observed;
     }
     stats->exec_wall_seconds += *std::max_element(lane_cost.begin(), lane_cost.end());
+    if (fee_balance_observed) {
+      // Some attempt observed the fee-account balance: the exemption served a
+      // pre-block value that lower-indexed fee credits may contradict. An
+      // attempt's behavior depends only on the frozen committed prefix, so
+      // the detection — like conflict accounting — is deterministic at any
+      // worker count; the caller re-runs the block serially. (Transaction 0
+      // against an empty prefix would technically be safe, but distinguishing
+      // it would make the fallback decision depend on commit timing.)
+      stats->fallback_serial = true;
+      fallbacks_counter->Add();
+      static Counter* fee_read_fallbacks =
+          MetricsRegistry::Global().GetCounter("exec.fee_balance_fallbacks");
+      fee_read_fallbacks->Add();
+      return false;
+    }
     pending.clear();
 
     // Validation phase (coordinator, ascending): extend the committed prefix

@@ -6,6 +6,7 @@
 #define SRC_FORERUNNER_PREFETCHER_H_
 
 #include "src/core/linear_ir.h"
+#include "src/state/statedb.h"
 
 namespace frn {
 

@@ -43,8 +43,11 @@ TraceCollector& TraceCollector::Global() {
 
 void TraceCollector::Enable(Options options) {
   MutexLock lock(buffers_mu_);
-  sample_rate_ = std::min(1.0, std::max(0.0, options.sample_rate));
-  max_events_per_thread_ = options.max_events_per_thread;
+  // These two are deliberately unguarded (see their declarations): Enable's
+  // contract is that no Emit/span site is in flight, and buffers_mu_ here
+  // protects the buffer sweep below, not these writes.
+  sample_rate_ = std::min(1.0, std::max(0.0, options.sample_rate));  // frn:allow(lock-annotation)
+  max_events_per_thread_ = options.max_events_per_thread;  // frn:allow(lock-annotation)
   for (auto& buffer : buffers_) {
     MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();

@@ -18,9 +18,12 @@
 // the pre-block value and are not recorded — and the write-set extraction
 // carries the net credit as a commutative delta (TxWriteSet::fee_delta)
 // applied serially in transaction order at merge time. The executor falls
-// back to serial execution when the fee account itself sends a transaction;
-// a contract that reads the coinbase balance mid-block is outside the
-// modeled workloads (documented limitation, DESIGN.md §11).
+// back to serial execution when the fee account itself sends a transaction,
+// and — via OnBalanceRead — when any transaction *observes* the fee-account
+// balance mid-block (BALANCE/SELFBALANCE on the coinbase, a sufficiency
+// check on a transfer out of it): the exemption would answer such a read
+// with a silently stale pre-block value, so the whole block re-runs
+// serially instead (lifts the PR 7 documented limitation, DESIGN.md §11).
 #ifndef SRC_STATE_BLOCK_STM_H_
 #define SRC_STATE_BLOCK_STM_H_
 
@@ -92,13 +95,24 @@ class BlockStmView : public StateOverlay {
 
   std::optional<Account> OverlayAccount(const Address& addr) override;
   std::optional<U256> OverlayStorage(const Address& addr, const U256& key) override;
+  void OnBalanceRead(const Address& addr) override {
+    if (addr == fee_) {
+      fee_balance_observed_ = true;
+    }
+  }
 
   std::vector<BlockStmReadDesc> TakeReads() { return std::move(reads_); }
+  // True when the attempt observed the fee account's balance: the exemption
+  // served a pre-block value that lower-indexed fee credits may have made
+  // stale, so the executor must abandon the optimistic schedule (serial
+  // fallback) instead of committing a read serial execution contradicts.
+  bool fee_balance_observed() const { return fee_balance_observed_; }
 
  private:
   const MvMemory* mv_;
   size_t tx_index_;
   Address fee_;
+  bool fee_balance_observed_ = false;
   std::vector<BlockStmReadDesc> reads_;
   std::unordered_set<Address, AddressHasher> seen_accounts_;
   std::unordered_map<StateSlotKey, bool, StateSlotKeyHasher> seen_slots_;

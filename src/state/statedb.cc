@@ -277,7 +277,15 @@ void StateDb::CreateAccount(const Address& addr) {
   a.exists = true;
 }
 
-U256 StateDb::GetBalance(const Address& addr) { return Load(addr).balance; }
+U256 StateDb::GetBalance(const Address& addr) {
+  if (overlay_ != nullptr) {
+    // Observable read: the caller's behavior (opcode result, validity branch)
+    // depends on the value, so the overlay must know — the commutative
+    // fee-account exemption is only sound for reads that are never observed.
+    overlay_->OnBalanceRead(addr);
+  }
+  return Load(addr).balance;
+}
 
 void StateDb::SetBalance(const Address& addr, const U256& value) {
   Account& a = Load(addr);
@@ -292,7 +300,10 @@ void StateDb::SetBalance(const Address& addr, const U256& value) {
 }
 
 void StateDb::AddBalance(const Address& addr, const U256& value) {
-  SetBalance(addr, GetBalance(addr) + value);
+  // Deliberately not GetBalance(): a credit's read half is not observable —
+  // the write set carries the *delta* for the fee account, so crediting the
+  // coinbase its gas fee must not trip the overlay's balance-read detection.
+  SetBalance(addr, Load(addr).balance + value);
 }
 
 bool StateDb::SubBalance(const Address& addr, const U256& value) {

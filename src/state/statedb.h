@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/sync.h"
+#include "src/evm/world_state.h"
 #include "src/trie/trie.h"
 
 namespace frn {
@@ -149,6 +150,14 @@ class StateOverlay {
   virtual ~StateOverlay() = default;
   virtual std::optional<Account> OverlayAccount(const Address& addr) = 0;
   virtual std::optional<U256> OverlayStorage(const Address& addr, const U256& key) = 0;
+  // Called on every *observable* balance read (GetBalance: the BALANCE /
+  // SELFBALANCE opcodes, wrapper validity checks, SubBalance sufficiency
+  // checks) — but not on the read half of AddBalance's read-modify-write,
+  // whose net effect is extracted as a commutative delta. BlockStmView uses
+  // this to detect a mid-block read of the fee-account balance, which the
+  // commutative-fee exemption would otherwise answer with a silently stale
+  // pre-block value (see block_stm.h).
+  virtual void OnBalanceRead(const Address& addr) {}
 };
 
 // One transaction's effects extracted from a completed attempt's journal:
@@ -235,7 +244,11 @@ class RootFuture {
   std::shared_ptr<Slot> slot_;
 };
 
-class StateDb {
+// The production WorldState: the execution layers (evm/core/contracts) call
+// through the abstract interface; everything state-specific — commit,
+// prefetch, write-set extraction, the overlay hook — stays on the concrete
+// class and is only reachable from layers above state in the include DAG.
+class StateDb : public WorldState {
  public:
   // Opens the world state at `root`. `shared_cache`, `versioned` and
   // `commit_pool` may each be null. When `versioned` retains a sealed version
@@ -247,30 +260,35 @@ class StateDb {
   StateDb(Mpt* trie, const Hash& root, SharedStateCache* shared_cache = nullptr,
           VersionedState* versioned = nullptr, CommitPool* commit_pool = nullptr);
 
-  // ---- Account access ----
-  bool Exists(const Address& addr);
-  void CreateAccount(const Address& addr);
-  U256 GetBalance(const Address& addr);
-  void SetBalance(const Address& addr, const U256& value);
-  void AddBalance(const Address& addr, const U256& value);
-  // Returns false on insufficient balance (no change applied).
-  bool SubBalance(const Address& addr, const U256& value);
-  uint64_t GetNonce(const Address& addr);
-  void SetNonce(const Address& addr, uint64_t nonce);
-  Bytes GetCode(const Address& addr);
-  Hash GetCodeHash(const Address& addr);
-  void SetCode(const Address& addr, const Bytes& code);
+  // ---- Account access (WorldState) ----
+  bool Exists(const Address& addr) override;
+  void CreateAccount(const Address& addr) override;
+  // An observable balance read: when an overlay is attached, it is notified
+  // (BlockStmView uses this to detect mid-block reads of the fee account's
+  // balance, which the commutative-fee exemption cannot serve correctly).
+  // Internal read-modify-write paths (AddBalance) do not route through here.
+  U256 GetBalance(const Address& addr) override;
+  void SetBalance(const Address& addr, const U256& value) override;
+  void AddBalance(const Address& addr, const U256& value) override;
+  // Returns false on insufficient balance (no change applied). The
+  // sufficiency check is an observable read (the branch depends on it).
+  bool SubBalance(const Address& addr, const U256& value) override;
+  uint64_t GetNonce(const Address& addr) override;
+  void SetNonce(const Address& addr, uint64_t nonce) override;
+  Bytes GetCode(const Address& addr) override;
+  Hash GetCodeHash(const Address& addr) override;
+  void SetCode(const Address& addr, const Bytes& code) override;
 
-  // ---- Storage access ----
-  U256 GetStorage(const Address& addr, const U256& key);
-  void SetStorage(const Address& addr, const U256& key, const U256& value);
+  // ---- Storage access (WorldState) ----
+  U256 GetStorage(const Address& addr, const U256& key) override;
+  void SetStorage(const Address& addr, const U256& key, const U256& value) override;
   // The committed (pre-transaction) value, used by the SSTORE gas rules.
-  U256 GetCommittedStorage(const Address& addr, const U256& key);
+  U256 GetCommittedStorage(const Address& addr, const U256& key) override;
 
-  // ---- Journal ----
+  // ---- Journal (WorldState) ----
   // Returns a snapshot id; RevertToSnapshot undoes everything after it.
-  int Snapshot();
-  void RevertToSnapshot(int id);
+  int Snapshot() override;
+  void RevertToSnapshot(int id) override;
 
   // ---- Optimistic in-block overlay (src/state/block_stm.h) ----
   // Attach an overlay consulted ahead of the snapshot/cache/trie read path.

@@ -109,7 +109,11 @@ SnapshotHandle VersionedState::SealLocked(
   static Gauge* retained = MetricsRegistry::Global().GetGauge("state.retained_versions");
   retained->Set(static_cast<double>(by_root_.size()));
   // The returned handle is copy-elided into the caller's frame, so its
-  // release hook never fires while mutex_ is held here.
+  // release hook (hook->mutex -> store mutex_) never fires while mutex_ is
+  // held here; the pending handles Commit destroys under mutex_ carry no
+  // hook (BeginCommitLocked's three-argument constructor), so their release
+  // is lock-free.
+  // frn:allow(lock-order): guaranteed elision defers destruction past mutex_
   return SnapshotHandle(v, sealed_root, v->height, hook_);
 }
 

@@ -1,7 +1,7 @@
 #include "src/trie/kv_store.h"
 
 #include "src/common/clock.h"
-#include "src/state/persist.h"
+#include "src/trie/persist.h"
 
 namespace frn {
 

@@ -1,4 +1,4 @@
-#include "src/state/persist.h"
+#include "src/trie/persist.h"
 
 #include <atomic>
 #include <cinttypes>

@@ -16,8 +16,8 @@
 // and truncates away (along with any later segments) before reopening the
 // last segment for append. A manifest written by a different format version
 // is rejected cleanly rather than guessed at.
-#ifndef SRC_STATE_PERSIST_H_
-#define SRC_STATE_PERSIST_H_
+#ifndef SRC_TRIE_PERSIST_H_
+#define SRC_TRIE_PERSIST_H_
 
 #include <cstdint>
 #include <cstdio>
@@ -98,4 +98,4 @@ class PersistLog {
 
 }  // namespace frn
 
-#endif  // SRC_STATE_PERSIST_H_
+#endif  // SRC_TRIE_PERSIST_H_

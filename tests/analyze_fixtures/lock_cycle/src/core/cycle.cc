@@ -1,0 +1,45 @@
+// Fixture for the lock-order pass: an AB/BA deadlock established through
+// the call graph, not lexically — Alpha::Poke holds Alpha::mu_ and calls a
+// Beta method that takes Beta::mu_, while Beta::Prod does the reverse. No
+// single function nests the two guards, so only call-graph propagation can
+// see the cycle.
+
+class Beta;
+
+class Alpha {
+ public:
+  void Poke();
+  void Accept();
+
+ private:
+  Mutex mu_;
+  Beta* peer_ = nullptr;
+};
+
+class Beta {
+ public:
+  void Prod();
+  void Absorb();
+
+ private:
+  Mutex mu_;
+  Alpha* peer_ = nullptr;
+};
+
+void Alpha::Poke() {
+  MutexLock lock(mu_);
+  peer_->Absorb();  // [expect:lock-order] Alpha::mu_ -> Beta::mu_
+}
+
+void Alpha::Accept() {
+  MutexLock lock(mu_);
+}
+
+void Beta::Prod() {
+  MutexLock lock(mu_);
+  peer_->Accept();  // the reverse edge: Beta::mu_ -> Alpha::mu_
+}
+
+void Beta::Absorb() {
+  MutexLock lock(mu_);
+}

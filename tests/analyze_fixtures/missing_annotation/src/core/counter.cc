@@ -1,0 +1,30 @@
+// Fixture for the lock-annotation pass: `count_` is written with the owning
+// class's mutex held but carries no FRN_GUARDED_BY, so a clang
+// -Wthread-safety build would never check its other access sites. The
+// annotated `total_` shows the compliant form and must not be flagged, and
+// the write to the local `scratch` must not be either.
+
+#define FRN_GUARDED_BY(x)
+
+class Counter {
+ public:
+  void Bump();
+  void Fold();
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+  long total_ FRN_GUARDED_BY(mu_) = 0;
+};
+
+void Counter::Bump() {
+  MutexLock lock(mu_);
+  count_ += 1;  // [expect:lock-annotation]
+}
+
+void Counter::Fold() {
+  MutexLock lock(mu_);
+  int scratch = 0;
+  scratch += 2;
+  total_ += scratch;
+}

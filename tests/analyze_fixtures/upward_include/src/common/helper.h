@@ -1,0 +1,11 @@
+// Fixture for the layering pass: common (rank 0) reaching up into state
+// (rank 4) inverts the include DAG. The crypto include goes up one rank too
+// and is equally illegal; the same-directory include is fine.
+#ifndef FIXTURE_COMMON_HELPER_H_
+#define FIXTURE_COMMON_HELPER_H_
+
+#include "src/common/types.h"
+#include "src/crypto/hasher.h"  // [expect:layering]
+#include "src/state/db.h"       // [expect:layering]
+
+#endif  // FIXTURE_COMMON_HELPER_H_

@@ -1,0 +1,4 @@
+// Peer include target (rank 0 -> rank 0 is legal).
+#ifndef FIXTURE_COMMON_TYPES_H_
+#define FIXTURE_COMMON_TYPES_H_
+#endif

@@ -1,0 +1,5 @@
+// Rank-1 header; including rank-0 common headers downward is legal.
+#ifndef FIXTURE_CRYPTO_HASHER_H_
+#define FIXTURE_CRYPTO_HASHER_H_
+#include "src/common/types.h"
+#endif

@@ -1,0 +1,6 @@
+// Rank-4 header; its own downward includes are legal.
+#ifndef FIXTURE_STATE_DB_H_
+#define FIXTURE_STATE_DB_H_
+#include "src/common/types.h"
+#include "src/crypto/hasher.h"
+#endif

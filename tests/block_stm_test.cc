@@ -16,6 +16,7 @@
 #include "src/crypto/keccak.h"
 #include "src/forerunner/accelerator.h"
 #include "src/forerunner/node.h"
+#include "src/obs/registry.h"
 #include "src/state/block_stm.h"
 #include "src/state/versioned_state.h"
 #include "tests/test_util.h"
@@ -212,6 +213,77 @@ TEST(BlockStmTest, FeeAccountSenderFallsBackToSerial) {
                                  ExecStrategy::kBaseline, &results, &stats));
   EXPECT_TRUE(stats.fallback_serial);
   EXPECT_EQ(stats.executions, 0u);
+}
+
+TEST(BlockStmTest, CoinbaseBalanceReadFallsBackToSerial) {
+  TestWorld world;
+  // A contract that stores the *fee account's* balance: COINBASE pushes the
+  // fee address, BALANCE reads it, SSTORE pins the value into storage. Under
+  // the commutative fee exemption that read would see a pre-block balance
+  // missing the fees of lower-indexed transactions, so the executor must
+  // refuse the block (PR 7's documented limitation, now lifted).
+  Address snooper = world.DeployAsm(700, R"(
+    COINBASE
+    BALANCE
+    PUSH 0
+    SSTORE
+    STOP
+  )");
+  Address a = world.Fund(1);
+  Address b = world.Fund(2);
+  std::vector<Transaction> txs = {world.MakeTx(a, Address::FromId(9), {}, U256(5)),
+                                  world.MakeTx(b, snooper, {})};
+  const Hash root = world.state().Commit();
+
+  Counter* fee_fallbacks =
+      MetricsRegistry::Global().GetCounter("exec.fee_balance_fallbacks");
+  const uint64_t fallbacks_before = fee_fallbacks->value();
+
+  ParallelBlockExecutor exec(&world.trie(), nullptr, nullptr, ParallelExecOptions{2, 1, 0});
+  std::vector<ParallelTxResult> results;
+  ParallelBlockStats stats;
+  EXPECT_FALSE(exec.ExecuteBlock(root, world.block(), txs, NoSpecs(2),
+                                 ExecStrategy::kBaseline, &results, &stats));
+  EXPECT_TRUE(stats.fallback_serial);
+  EXPECT_EQ(fee_fallbacks->value(), fallbacks_before + 1);
+
+  // The caller's serial path (what Node::ExecuteTxsParallel falls back to)
+  // commits the block fine, and the snooper observes exactly the mid-block
+  // fee balance — tx0's fee, already credited when tx1 runs — which is what
+  // the commutative exemption could never have served.
+  std::vector<AccelOutcome> outcomes;
+  const Hash serial_root = RunSerial(&world.trie(), root, world.block(), txs, &outcomes);
+  StateDb after(&world.trie(), serial_root);
+  EXPECT_EQ(after.GetStorage(snooper, U256(0)),
+            U256(outcomes[0].result.gas_used) * txs[0].gas_price);
+}
+
+TEST(BlockStmTest, NonCoinbaseBalanceReadsStayParallel) {
+  TestWorld world;
+  // Negative control for the fee-balance fallback: ADDRESS/BALANCE reads the
+  // contract's *own* balance, which the multi-version memory tracks exactly —
+  // no exemption involved, so the block still converges in parallel.
+  Address selfcheck = world.DeployAsm(701, R"(
+    ADDRESS
+    BALANCE
+    PUSH 0
+    SSTORE
+    STOP
+  )");
+  Address a = world.Fund(1);
+  Address b = world.Fund(2);
+  std::vector<Transaction> txs = {world.MakeTx(a, Address::FromId(9), {}, U256(5)),
+                                  world.MakeTx(b, selfcheck, {})};
+  const Hash root = world.state().Commit();
+  const Hash serial_root = RunSerial(&world.trie(), root, world.block(), txs, nullptr);
+
+  ParallelBlockExecutor exec(&world.trie(), nullptr, nullptr, ParallelExecOptions{2, 1, 0});
+  std::vector<ParallelTxResult> results;
+  ParallelBlockStats stats;
+  ASSERT_TRUE(exec.ExecuteBlock(root, world.block(), txs, NoSpecs(2),
+                                ExecStrategy::kBaseline, &results, &stats));
+  EXPECT_FALSE(stats.fallback_serial);
+  EXPECT_EQ(MergeAndCommit(&world.trie(), root, world.block(), results), serial_root);
 }
 
 // ---- Node-level identity across worker counts ----

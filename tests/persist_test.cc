@@ -3,7 +3,7 @@
 // tail record is detected by checksum and truncated away (falling back to the
 // previous head marker), and a manifest written by a different format version
 // is rejected cleanly instead of being guessed at.
-#include "src/state/persist.h"
+#include "src/trie/persist.h"
 
 #include <gtest/gtest.h>
 

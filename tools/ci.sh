@@ -2,6 +2,13 @@
 # Single-entry CI gate. Stages, in the order that fails fastest:
 #
 #   lint            tools/lint.py --self-test (fixtures + clean-tree scan)
+#   analyze         tools/analyze.py --self-test (concurrency-contract
+#                   passes: lock-order, lock-annotation, layering,
+#                   determinism; fixture suites + clean-tree scan). The
+#                   tokens backend always runs; when clang and a
+#                   compile_commands.json are present the call graph is
+#                   refined from per-TU AST dumps, cached under
+#                   build/analyze-cache keyed on file content hash.
 #   format          check-only clang-format over the curated file list below
 #                   [skipped when clang-format is not installed]
 #   tier1           default build + full ctest suite (build/)
@@ -36,6 +43,10 @@
 # the stage is skipped — TSan remains the dynamic backstop.
 #
 # Usage:  tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-ubsan]
+#                     [--stages a,b,c]
+#
+# --stages runs only the named stages (comma list, names as in the summary
+# table); everything else is left out of the run and the summary entirely.
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -43,14 +54,35 @@ jobs="$(nproc)"
 skip_asan=0
 skip_tsan=0
 skip_ubsan=0
+only_stages=""
 for arg in "$@"; do
   case "${arg}" in
     --skip-asan) skip_asan=1 ;;
     --skip-tsan) skip_tsan=1 ;;
     --skip-ubsan) skip_ubsan=1 ;;
-    *) echo "usage: tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-ubsan]" >&2; exit 2 ;;
+    --stages=*) only_stages="${arg#--stages=}" ;;
+    --stages) ;;  # value arrives as the next arg
+    *)
+      if [[ -n "${prev_arg:-}" && "${prev_arg}" == "--stages" ]]; then
+        only_stages="${arg}"
+      else
+        echo "usage: tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-ubsan] [--stages a,b,c]" >&2
+        exit 2
+      fi
+      ;;
   esac
+  prev_arg="${arg}"
 done
+
+# True when the stage is selected by --stages (or no filter is active).
+stage_selected() {
+  [[ -z "${only_stages}" ]] && return 0
+  local s
+  for s in ${only_stages//,/ }; do
+    [[ "${s}" == "$1" ]] && return 0
+  done
+  return 1
+}
 
 # Files held to .clang-format (scoped: the legacy tree is not reflowed
 # wholesale; files join this list as PRs touch them).
@@ -67,19 +99,9 @@ format_files=(
   tests/lint_fixtures/bad_unordered_iter.cc
 )
 
-# Concurrency-heavy translation units the clang-tidy stage covers.
-tidy_files=(
-  src/trie/kv_store.cc
-  src/state/statedb.cc
-  src/state/versioned_state.cc
-  src/state/persist.cc
-  src/state/commit_pool.cc
-  src/state/block_stm.cc
-  src/forerunner/parallel_exec.cc
-  src/forerunner/spec_pool.cc
-  src/obs/registry.cc
-  src/obs/trace.cc
-)
+# The clang-tidy stage covers every translation unit in src/ (the curated
+# list it replaced had gone stale when files moved between subsystems).
+mapfile -t tidy_files < <(cd "${repo_root}" && find src -name '*.cc' | sort)
 
 stage_names=()
 stage_results=()
@@ -88,6 +110,7 @@ overall=0
 run_stage() {
   local name="$1"
   shift
+  stage_selected "${name}" || return 0
   echo
   echo "=== CI stage: ${name} ==="
   if "$@"; then
@@ -103,6 +126,7 @@ run_stage() {
 
 skip_stage() {
   local name="$1" why="$2"
+  stage_selected "${name}" || return 0
   echo
   echo "=== CI stage: ${name} — skipped (${why}) ==="
   stage_names+=("${name}")
@@ -111,6 +135,15 @@ skip_stage() {
 
 stage_lint() {
   python3 "${repo_root}/tools/lint.py" --self-test
+}
+
+stage_analyze() {
+  # The analyzer prints its own note and falls back to the tokens backend
+  # when clang (or the compile-commands export) is unavailable; the
+  # contract passes still run either way.
+  python3 "${repo_root}/tools/analyze.py" --self-test \
+    --build-dir "${repo_root}/build" \
+    --cache-dir "${repo_root}/build/analyze-cache"
 }
 
 stage_format() {
@@ -124,7 +157,11 @@ stage_format() {
 }
 
 stage_tier1() {
-  cmake -S "${repo_root}" -B "${repo_root}/build" >/dev/null &&
+  # compile_commands.json is always exported: the analyze and clang-tidy
+  # stages key off it, and tools outside CI (editors, analyze.py runs by
+  # hand) expect it in build/.
+  cmake -S "${repo_root}" -B "${repo_root}/build" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
     cmake --build "${repo_root}/build" -j"${jobs}" &&
     (cd "${repo_root}/build" && ctest --output-on-failure -j"${jobs}")
 }
@@ -170,7 +207,8 @@ stage_persist_smoke() {
 
 stage_thread_safety() {
   cmake -S "${repo_root}" -B "${repo_root}/build-clang" \
-    -DCMAKE_CXX_COMPILER=clang++ -DFRN_THREAD_SAFETY=ON >/dev/null &&
+    -DCMAKE_CXX_COMPILER=clang++ -DFRN_THREAD_SAFETY=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
     cmake --build "${repo_root}/build-clang" -j"${jobs}"
 }
 
@@ -207,6 +245,7 @@ stage_ubsan() {
 }
 
 run_stage lint stage_lint
+run_stage analyze stage_analyze
 
 if command -v clang-format >/dev/null 2>&1; then
   run_stage format stage_format

@@ -35,9 +35,10 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/state/statedb.h"
 #include "src/obs/trace.h"
 #include "src/replay/recording.h"
-#include "src/state/persist.h"
+#include "src/trie/persist.h"
 
 using namespace frn;
 

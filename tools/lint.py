@@ -212,6 +212,12 @@ def scan_unordered_names(rows):
                         break
                 i += 1
             tail = code[i + 1:]
+            # The declared name may be followed by a thread-safety annotation
+            # (`map_ FRN_GUARDED_BY(mu_);`) before the terminator — strip any
+            # FRN_*(...) suffixes so such members still register. Without this,
+            # a structured-binding loop over an annotated member escaped the
+            # unordered-iter rule entirely.
+            tail = re.sub(r"\s+FRN_\w+\([^)]*\)", "", tail)
             dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(?:[;={(]|$)", tail)
             if dm:
                 names.add(dm.group(1))
@@ -290,6 +296,11 @@ def collect_files(paths, include_fixtures=False):
             for dirpath, dirnames, filenames in os.walk(ap):
                 if not include_fixtures and FIXTURE_DIR_NAME in dirnames:
                     dirnames.remove(FIXTURE_DIR_NAME)
+                # tools/analyze.py's fixture trees are analyzer input, never
+                # compiled; they carry deliberate violations of both tools'
+                # rules, so the clean-tree scan must not descend into them.
+                if "analyze_fixtures" in dirnames:
+                    dirnames.remove("analyze_fixtures")
                 for f in sorted(filenames):
                     if f.endswith(SOURCE_EXTENSIONS):
                         files.append(os.path.join(dirpath, f))

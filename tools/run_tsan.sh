@@ -24,6 +24,13 @@
 # and happens-before bugs between whole subsystems. Keep both green: neither
 # subsumes the other.
 #
+# The TSan build also auto-arms the runtime lockdep (FRN_LOCKDEP, see
+# src/common/sync.h): every frn::Mutex/SharedMutex acquisition below feeds a
+# process-wide lock-ordering graph, and an acquisition that would close an
+# ordering cycle aborts with a report — the dynamic cross-check of the static
+# lock-order pass in tools/analyze.py. The lockdep_test binary is in the run
+# list to prove the checker itself is armed and firing under this build.
+#
 # Usage:  tools/run_tsan.sh [--all]
 set -euo pipefail
 
@@ -34,7 +41,7 @@ cmake -S "${repo_root}" -B "${build_dir}" -DFRN_SANITIZE=thread >/dev/null
 tsan_tests=(concurrency_stress_test spec_pool_test forerunner_test
             mempool_test chain_manager_test
             versioned_state_test block_stm_test persist_test prefetcher_test
-            obs_registry_test trace_format_test)
+            obs_registry_test trace_format_test lockdep_test)
 
 cmake --build "${build_dir}" -j"$(nproc)" --target "${tsan_tests[@]}"
 
